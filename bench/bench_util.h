@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration benches.
+ *
+ * Every bench prints the series the paper reports plus our measured
+ * values; EXPERIMENTS.md quotes these outputs. By default benches run
+ * on a scaled device (128 blocks per chip, ~9 GB) so the whole suite
+ * finishes in minutes; set CUBESSD_FULL=1 in the environment for the
+ * paper's full 428-blocks-per-chip (~32 GB) configuration.
+ */
+
+#ifndef CUBESSD_BENCH_BENCH_UTIL_H
+#define CUBESSD_BENCH_BENCH_UTIL_H
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/cubessd.h"
+
+namespace cubessd::bench {
+
+inline bool
+fullScale()
+{
+    const char *env = std::getenv("CUBESSD_FULL");
+    return env != nullptr && env[0] == '1';
+}
+
+/** Device configuration used by the system-level benches (Sec. 6.1). */
+inline ssd::SsdConfig
+ssdConfig(ssd::FtlKind kind, std::uint64_t seed = 42)
+{
+    ssd::SsdConfig config;
+    config.channels = 2;
+    config.chipsPerChannel = 4;
+    config.chip.geometry.blocksPerChip = fullScale() ? 428 : 128;
+    config.ftl = kind;
+    config.seed = seed;
+    return config;
+}
+
+/** Chip configuration used by the characterization benches (Sec. 3). */
+inline nand::NandChipConfig
+chipConfig(std::uint64_t seed = 1)
+{
+    nand::NandChipConfig config;
+    config.geometry.blocksPerChip = fullScale() ? 128 : 32;
+    config.seed = seed;
+    return config;
+}
+
+/**
+ * One evaluation run: pre-cycle, prefill, bake, measure — the paper's
+ * experimental procedure (Sec. 6.1: the rig pre-cycles blocks, writes,
+ * then bakes for the retention time).
+ */
+inline workload::RunResult
+runWorkload(ssd::FtlKind kind, const workload::WorkloadSpec &spec,
+            const nand::AgingState &aging, std::uint64_t seed,
+            std::uint64_t requests, ftl::FtlStats *statsOut = nullptr)
+{
+    ssd::Ssd dev(ssdConfig(kind, seed));
+    workload::WorkloadGenerator gen(spec, dev.logicalPages(), seed + 7);
+    workload::Driver driver(dev, gen);
+    dev.setAging({aging.peCycles, 0.0});
+    driver.prefill(0.2);
+    dev.setAging(aging);
+    auto result = driver.run(requests);
+    if (statsOut != nullptr)
+        *statsOut = dev.ftl().stats();
+    return result;
+}
+
+/** Mean IOPS over three seeds (burst pacing is stochastic). */
+inline double
+meanIops(ssd::FtlKind kind, const workload::WorkloadSpec &spec,
+         const nand::AgingState &aging, std::uint64_t requests)
+{
+    double sum = 0.0;
+    const std::uint64_t seeds[] = {42, 137, 999, 7, 2026};
+    for (std::uint64_t seed : seeds)
+        sum += runWorkload(kind, spec, aging, seed, requests).iops;
+    return sum / static_cast<double>(std::size(seeds));
+}
+
+inline const char *
+agingName(const nand::AgingState &aging)
+{
+    if (aging.peCycles == 0)
+        return "fresh (0K P/E, no retention)";
+    if (aging.retentionMonths <= 1.0)
+        return "2K P/E + 1-month retention";
+    return "2K P/E + 1-year retention";
+}
+
+}  // namespace cubessd::bench
+
+#endif  // CUBESSD_BENCH_BENCH_UTIL_H

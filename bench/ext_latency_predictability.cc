@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Extension (paper Sec. 8, future work): deterministic latency from
+ * horizontal similarity.
+ *
+ * The paper argues that PS "guarantees accurate I/O response times"
+ * and could underpin SSDs with highly deterministic latency (a cure
+ * for the long-tail problem [12, 42]). The dominant source of read
+ * jitter in an aged SSD is the retry count; this bench quantifies how
+ * predictable device latency becomes once the PS-aware scheme pins
+ * NumRetry to zero on every known h-layer:
+ *
+ *  - program path: follower tPROG predicted from the h-layer leader;
+ *  - read path: latency spread (CV, p99/p50) with and without
+ *    h-layer reference reuse at end of life.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "bench/bench_util.h"
+
+using namespace cubessd;
+
+int
+main()
+{
+    std::cout << "=== Extension: latency determinism from PS ===\n";
+    nand::NandChip chip(bench::chipConfig(1));
+    const auto &geom = chip.geometry();
+    std::vector<std::uint64_t> tokens(geom.pagesPerWl, 1);
+
+    // --- program path: leader predicts follower tPROG exactly. ---
+    chip.setAging({2000, 6.0});
+    RunningStat leaderErr;
+    for (std::uint32_t block = 0; block < 6; ++block) {
+        chip.eraseBlock(block);
+        for (std::uint32_t l = 0; l < geom.layersPerBlock; l += 5) {
+            double leaderT = 0.0;
+            for (std::uint32_t w = 0; w < geom.wlsPerLayer; ++w) {
+                const auto r = chip.programWl(
+                    {block, l, w}, nand::ProgramCommand{}, tokens);
+                if (w == 0)
+                    leaderT = toMicroseconds(r.tProg);
+                else
+                    leaderErr.add(
+                        std::abs(toMicroseconds(r.tProg) - leaderT) /
+                        toMicroseconds(r.tProg));
+            }
+        }
+    }
+    std::cout << "\n-- program path (2K P/E + 6 months) --\n"
+              << "  follower tPROG predicted from its leader: mean "
+                 "error "
+              << metrics::formatPercent(leaderErr.mean(), 2) << ", max "
+              << metrics::formatPercent(leaderErr.max(), 2) << "\n";
+
+    // --- read path: latency spread with/without PS reuse at EOL. ---
+    chip.setAging({2000, 12.0});
+    LatencyRecorder unaware, warm;
+    std::map<std::uint64_t, MilliVolt> ort;
+    for (std::uint32_t block = 6; block < geom.blocksPerChip;
+         block += 2) {
+        chip.eraseBlock(block);
+        for (std::uint32_t l = 0; l < geom.layersPerBlock; l += 4) {
+            for (std::uint32_t w = 0; w < geom.wlsPerLayer; ++w)
+                chip.programWl({block, l, w}, nand::ProgramCommand{},
+                               tokens);
+            for (std::uint32_t w = 0; w < geom.wlsPerLayer; ++w) {
+                const auto plain = chip.readPage({block, l, w, 0}, 0);
+                unaware.add(toMicroseconds(plain.tRead));
+                const std::uint64_t key =
+                    static_cast<std::uint64_t>(block) * 64 + l;
+                const auto it = ort.find(key);
+                if (it != ort.end()) {
+                    // A *warm* PS-aware read: the h-layer's references
+                    // are known. This is the steady-state read of a
+                    // PS-aware SSD.
+                    const auto smart = chip.readPage(
+                        {block, l, w, 0}, it->second);
+                    warm.add(toMicroseconds(smart.tRead));
+                }
+                const auto learn = chip.readPage({block, l, w, 0},
+                                                 it == ort.end()
+                                                     ? 0
+                                                     : it->second);
+                if (!learn.uncorrectable)
+                    ort[key] = learn.successShiftMv;
+            }
+        }
+    }
+
+    metrics::Table table({"read scheme", "p50 (us)", "p99 (us)",
+                          "p99 - p50 (us)"});
+    for (const bool ps : {false, true}) {
+        auto &rec = ps ? warm : unaware;
+        table.row({ps ? "PS-aware, warm h-layer" : "PS-unaware",
+                   metrics::format(rec.percentile(50), 0),
+                   metrics::format(rec.percentile(99), 0),
+                   metrics::format(rec.percentile(99) -
+                                       rec.percentile(50),
+                                   0)});
+    }
+    std::cout << "\n-- read path (2K P/E + 1 year) --\n";
+    table.print(std::cout);
+
+    metrics::PaperComparison cmp(
+        "Sec. 8 extension (deterministic latency)");
+    cmp.add("follower tPROG predictable from leader",
+            "\"PS guarantees accurate I/O response times\"",
+            "mean error " +
+                metrics::formatPercent(leaderErr.mean(), 2));
+    cmp.add("read-latency jitter p99 - p50 at end of life",
+            "long-tail cure proposed",
+            metrics::format(unaware.percentile(99) -
+                                unaware.percentile(50),
+                            0) +
+                " us PS-unaware vs " +
+                metrics::format(warm.percentile(99) -
+                                    warm.percentile(50),
+                                0) +
+                " us PS-aware (warm)");
+    cmp.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Reproduces paper Fig. 3: the ISPP micro-operation schedule for
+ * 2-bit MLC NAND.
+ *
+ * The paper's worked example (Sec. 2.2): P1-programmed cells need
+ * ISPP loops 1-3 with three VFYs each (k_1..3 = 3, since P2/P3 cells
+ * must also be checked every loop), P2 cells need loops 4-5 with two
+ * VFYs each, P3 cells loops 6-7 with one VFY each, so
+ *
+ *   tPROG = sum_i (tPGM + k_i * tVFY)            (Eq. 1)
+ *
+ * with k = {3,3,3,2,2,1,1}. We configure the ISPP engine for MLC
+ * (3 program states) with targets that give the same loop windows and
+ * check the schedule, plus the skip-plan version of the same WL
+ * (Fig. 7's step 3).
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace cubessd;
+
+int
+main()
+{
+    std::cout << "=== Fig. 3: ISPP schedule, 2-bit MLC example ===\n";
+
+    // MLC configuration matched to the paper's example: three states
+    // whose loop windows are [1..3], [4..5], [6..7].
+    nand::IsppConfig config;
+    config.programStates = 3;
+    config.windowMv = 1050;
+    config.deltaVMv = 150;
+    config.firstStateOffsetMv = 350;
+    config.stateSpacingMv = 300;
+    config.cellSigmaMv = 30.0;
+    nand::ErrorModel errors;
+    nand::IsppEngine engine(config, errors);
+    Rng rng(1);
+
+    const auto loops =
+        engine.stateLoops(0.0, 1.0, nand::AgingState{0, 0.0}, 0);
+    std::cout << "\n-- per-state ISPP loop windows --\n";
+    metrics::Table windows({"state", "L_min", "L_max"});
+    for (int s = 0; s < config.programStates; ++s) {
+        windows.row({"P" + std::to_string(s + 1),
+                     std::to_string(loops[s].lMin),
+                     std::to_string(loops[s].lMax)});
+    }
+    windows.print(std::cout);
+
+    const auto schedule = engine.defaultVerifySchedule(loops);
+    std::cout << "\n-- default verify schedule k_i (Fig. 3(b)) --\n  ";
+    for (const int k : schedule)
+        std::cout << k << " ";
+    std::cout << "\n";
+
+    // Eq. (1) check against the executed program.
+    const auto result = engine.program(1.0, 0.0, {0, 0.0}, 1.0,
+                                       nand::ProgramCommand{}, rng);
+    int verifySum = 0;
+    for (const int k : schedule)
+        verifySum += k;
+    std::cout << "\n  executed: " << result.loopsUsed << " loops, "
+              << result.verifiesDone << " VFYs, tPROG = "
+              << metrics::format(toMicroseconds(result.tProg), 1)
+              << " us\n  Eq. (1):  " << schedule.size() << " loops, "
+              << verifySum << " VFYs\n";
+
+    // The follower version (Fig. 7): skip VFYs before each state's
+    // observed L_min.
+    nand::ProgramCommand cmd;
+    cmd.useSkipPlan = true;
+    cmd.skipVfy = nand::IsppEngine::safeSkipPlan(result.loops);
+    const auto follower = engine.program(1.0, 0.0, {0, 0.0}, 1.0, cmd,
+                                         rng);
+    std::cout << "  with the safe skip plan: " << follower.verifiesDone
+              << " VFYs (" << follower.verifiesSkipped
+              << " skipped), tPROG = "
+              << metrics::format(toMicroseconds(follower.tProg), 1)
+              << " us\n";
+
+    const std::vector<int> paperSchedule{3, 3, 3, 2, 2, 1, 1};
+    metrics::PaperComparison cmp("Fig. 3 (MLC ISPP example)");
+    cmp.add("verify schedule k_i", "3 3 3 2 2 1 1",
+            schedule == paperSchedule ? "3 3 3 2 2 1 1 (exact match)"
+                                      : "differs (see above)");
+    cmp.add("tPROG follows Eq. (1)", "by definition",
+            static_cast<std::size_t>(result.loopsUsed) ==
+                        schedule.size() &&
+                    result.verifiesDone == verifySum
+                ? "loops and VFY counts match exactly"
+                : "MISMATCH");
+    cmp.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Reproduces paper Fig. 5: horizontal intra-layer similarity.
+ *
+ *  (a,b) normalized retention BER of the four WLs on four
+ *        representative h-layers, at 1K P/E + 1 month and at
+ *        2K P/E + 1 year;
+ *  (c)   DeltaH across blocks and aging conditions (paper: all ~1);
+ *  (d)   tPROG of the four WLs of each representative h-layer
+ *        (paper: identical within an h-layer).
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace cubessd;
+
+namespace {
+
+struct LayerRow
+{
+    const char *name;
+    std::uint32_t layer;
+};
+
+std::vector<LayerRow>
+representativeLayers(const nand::ProcessModel &process)
+{
+    return {{"h-layer_omega (bottom edge)", process.layerOmega()},
+            {"h-layer_kappa (bottom band)", process.layerKappa()},
+            {"h-layer_beta (best)", process.layerBeta()},
+            {"h-layer_alpha (top edge)", process.layerAlpha()}};
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::cout << "=== Fig. 5: intra-layer (horizontal) similarity ===\n";
+    nand::NandChip chip(bench::chipConfig(1));
+    const auto &geom = chip.geometry();
+    std::vector<std::uint64_t> tokens(geom.pagesPerWl, 1);
+    const auto layers = representativeLayers(chip.process());
+
+    // (a,b): per-WL normalized BER at two aging conditions.
+    for (const auto aging :
+         {nand::AgingState{1000, 1.0}, nand::AgingState{2000, 12.0}}) {
+        chip.setAging(aging);
+        std::cout << "\n-- normalized BER per WL, " << aging.peCycles
+                  << " P/E + " << aging.retentionMonths
+                  << " months --\n";
+        metrics::Table table(
+            {"h-layer", "WL1", "WL2", "WL3", "WL4", "DeltaH"});
+        // Normalize over the best h-layer's measurement (Fig. 5 note).
+        chip.eraseBlock(0);
+        double best = 1e30;
+        std::vector<std::vector<double>> rows;
+        for (const auto &row : layers) {
+            std::vector<double> bers;
+            for (std::uint32_t w = 0; w < geom.wlsPerLayer; ++w) {
+                chip.programWl({0, row.layer, w},
+                               nand::ProgramCommand{}, tokens);
+                bers.push_back(
+                    chip.measureBerNorm({0, row.layer, w, 0}));
+            }
+            best = std::min(
+                best, *std::min_element(bers.begin(), bers.end()));
+            rows.push_back(bers);
+        }
+        for (std::size_t i = 0; i < layers.size(); ++i) {
+            const auto &bers = rows[i];
+            const double hi =
+                *std::max_element(bers.begin(), bers.end());
+            const double lo =
+                *std::min_element(bers.begin(), bers.end());
+            table.row({layers[i].name, metrics::format(bers[0] / best),
+                       metrics::format(bers[1] / best),
+                       metrics::format(bers[2] / best),
+                       metrics::format(bers[3] / best),
+                       metrics::format(hi / lo)});
+        }
+        table.print(std::cout);
+    }
+
+    // (c): DeltaH over many blocks and conditions.
+    std::cout << "\n-- Fig. 5(c): DeltaH across blocks and aging --\n";
+    RunningStat deltaH;
+    for (const auto aging :
+         {nand::AgingState{0, 0.0}, nand::AgingState{1000, 1.0},
+          nand::AgingState{2000, 12.0}}) {
+        chip.setAging(aging);
+        for (std::uint32_t block = 1;
+             block < chip.geometry().blocksPerChip; block += 3) {
+            chip.eraseBlock(block);
+            for (std::uint32_t layer = 0; layer < geom.layersPerBlock;
+                 layer += 6) {
+                double lo = 1e30, hi = 0.0;
+                for (std::uint32_t w = 0; w < geom.wlsPerLayer; ++w) {
+                    chip.programWl({block, layer, w},
+                                   nand::ProgramCommand{}, tokens);
+                    const double ber = chip.measureBerNorm(
+                        {block, layer, w, 0});
+                    lo = std::min(lo, ber);
+                    hi = std::max(hi, ber);
+                }
+                deltaH.add(hi / lo);
+            }
+        }
+    }
+    std::cout << "  samples: " << deltaH.count()
+              << "  mean DeltaH: " << metrics::format(deltaH.mean())
+              << "  max DeltaH: " << metrics::format(deltaH.max())
+              << "\n";
+
+    // (d): tPROG of the WLs on each representative h-layer.
+    std::cout << "\n-- Fig. 5(d): tPROG per WL (us) --\n";
+    chip.setAging({0, 0.0});
+    metrics::Table tprog({"h-layer", "WL1", "WL2", "WL3", "WL4"});
+    chip.eraseBlock(2);
+    for (const auto &row : layers) {
+        std::vector<std::string> cells{row.name};
+        for (std::uint32_t w = 0; w < geom.wlsPerLayer; ++w) {
+            const auto r = chip.programWl({2, row.layer, w},
+                                          nand::ProgramCommand{},
+                                          tokens);
+            cells.push_back(metrics::format(toMicroseconds(r.tProg), 1));
+        }
+        tprog.row(cells);
+    }
+    tprog.print(std::cout);
+
+    metrics::PaperComparison cmp("Fig. 5 (intra-layer similarity)");
+    cmp.add("DeltaH across layers/blocks/aging", "~1.00 (all)",
+            metrics::format(deltaH.mean()) + " mean, " +
+                metrics::format(deltaH.max()) + " max");
+    cmp.add("max WL-to-WL BER difference", "< 3%",
+            metrics::formatPercent(deltaH.max() - 1.0));
+    cmp.add("tPROG within an h-layer", "identical", "see table (d)");
+    cmp.print(std::cout);
+    return 0;
+}

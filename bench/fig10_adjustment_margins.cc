@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Reproduces paper Fig. 10: safe V_Start and V_Final adjustment
+ * margins per h-layer.
+ *
+ * For each h-layer we search the largest total window adjustment whose
+ * BER cost, projected to end-of-retention at the current wear, stays
+ * inside the ECC limit — the offline characterization that [13]-style
+ * schemes (and the paper's conversion tables) are built from. Good
+ * layers have hundreds of mV of margin; the worst layers have none.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace cubessd;
+
+int
+main()
+{
+    std::cout << "=== Fig. 10: V_Start/V_Final adjustment margins ===\n";
+    nand::NandChip chip(bench::chipConfig(1));
+    const auto &process = chip.process();
+    const auto &errors = chip.errors();
+    const double eccLimitNorm =
+        chip.ecc().limitBer() / errors.params().baseBer;
+    const ftl::OpmConfig opm;
+
+    for (const auto &aging :
+         {nand::AgingState{0, 0.0}, nand::AgingState{2000, 0.0}}) {
+        std::cout << "\n-- total safe margin per h-layer at "
+                  << aging.peCycles
+                  << " P/E (projected to 12-month retention) --\n";
+        metrics::Table table({"h-layer", "quality q", "margin (mV)",
+                              "V_Start share", "V_Final share",
+                              "note"});
+        RunningStat margins;
+        for (std::uint32_t l = 0;
+             l < chip.geometry().layersPerBlock; ++l) {
+            const double q = process.layerQuality(0, l);
+            const double measured = errors.normalizedBer(
+                q, aging, process.chipFactor());
+            const double projected =
+                errors.projectedRetentionNorm(measured, aging);
+            const double allowed =
+                opm.marginGuard * eccLimitNorm / projected;
+            double margin = errors.safeWindowShrinkMv(allowed);
+            margin = std::min(
+                margin, static_cast<double>(opm.maxShrinkMv));
+            margins.add(margin);
+            if (l % 4 == 0 || l == process.layerKappa() ||
+                l == process.layerBeta()) {
+                std::string note;
+                if (l == process.layerOmega()) note = "omega";
+                if (l == process.layerKappa()) note = "kappa";
+                if (l == process.layerBeta()) note = "beta";
+                if (l == process.layerAlpha()) note = "alpha";
+                const double vStart =
+                    std::floor(margin * opm.vStartShare / 10.0) * 10.0;
+                table.row({std::to_string(l), metrics::format(q, 3),
+                           metrics::format(margin, 0),
+                           metrics::format(vStart, 0),
+                           metrics::format(margin - vStart, 0), note});
+            }
+        }
+        table.print(std::cout);
+        std::cout << "  margin mean: "
+                  << metrics::format(margins.mean(), 0)
+                  << " mV, min: " << metrics::format(margins.min(), 0)
+                  << " mV, max: " << metrics::format(margins.max(), 0)
+                  << " mV\n";
+    }
+
+    // Paper-shape checks at end-of-life wear.
+    const nand::AgingState eol{2000, 0.0};
+    auto marginOf = [&](std::uint32_t l) {
+        const double q = process.layerQuality(0, l);
+        const double projected = errors.projectedRetentionNorm(
+            errors.normalizedBer(q, eol, process.chipFactor()), eol);
+        return std::min(
+            errors.safeWindowShrinkMv(opm.marginGuard * eccLimitNorm /
+                                      projected),
+            static_cast<double>(opm.maxShrinkMv));
+    };
+
+    metrics::PaperComparison cmp("Fig. 10 (adjustment margins)");
+    cmp.add("good layers keep large margins",
+            "up to ~300-500 mV",
+            metrics::format(marginOf(process.layerBeta()), 0) +
+                " mV (beta, at 2K P/E)");
+    cmp.add("worst layer has no margin at end of life", "~0 mV",
+            metrics::format(marginOf(process.layerOmega()), 0) +
+                " mV (omega, at 2K P/E)");
+    cmp.add("[13] static grant for beta-like layers", "~130 mV",
+            "see vertFTL table (fig11/fig17 benches)");
+    cmp.print(std::cout);
+    return 0;
+}

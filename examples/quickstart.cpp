@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Quickstart: build a cubeFTL SSD, write and read some data, and
+ * print the device statistics.
+ *
+ *   ./quickstart
+ */
+
+#include <iostream>
+
+#include "src/cubessd.h"
+
+using namespace cubessd;
+
+int
+main()
+{
+    // 1. Configure a small SSD driven by the PS-aware cubeFTL.
+    ssd::SsdConfig config;
+    config.channels = 2;
+    config.chipsPerChannel = 2;
+    config.chip.geometry.blocksPerChip = 64;  // ~2.3 GB, quick to run
+    config.logicalFraction = 0.85;  // leave room for GC on small chips
+    config.ftl = ssd::FtlKind::Cube;
+    ssd::Ssd dev(config);
+
+    std::cout << "device: " << dev.chipCount() << " chips, "
+              << dev.logicalPages() << " logical pages of "
+              << config.chip.geometry.pageSizeBytes / 1024 << " KiB\n";
+
+    // 2. Write 1000 pages (synchronously for simplicity).
+    for (Lba lba = 0; lba < 1000; ++lba) {
+        ssd::HostRequest req;
+        req.type = ssd::IoType::Write;
+        req.lba = lba;
+        req.pages = 1;
+        dev.submitSync(req);
+    }
+    dev.drain();  // flush the write buffer to NAND
+
+    // 3. Read them back and look at one completion in detail.
+    ssd::HostRequest req;
+    req.type = ssd::IoType::Read;
+    req.lba = 123;
+    req.pages = 8;
+    const auto completion = dev.submitSync(req);
+    std::cout << "8-page read completed in "
+              << metrics::format(toMicroseconds(completion.latency()),
+                                 1)
+              << " us\n";
+
+    // 4. Device statistics: leader vs follower programs show the
+    //    PS-aware optimization at work.
+    const auto &stats = dev.ftl().stats();
+    std::cout << "host writes: " << stats.hostWritePages
+              << " pages\nWL programs: "
+              << stats.hostPrograms + stats.gcPrograms << " ("
+              << stats.leaderPrograms << " leaders, "
+              << stats.followerPrograms
+              << " followers)\naverage program latency: "
+              << metrics::format(stats.avgProgramLatencyUs(), 1)
+              << " us (default tPROG is ~700 us; followers are "
+                 "faster)\n";
+
+    // 5. Integrity check: every write is retrievable.
+    dev.ftl().checkConsistency();
+    std::cout << "consistency check passed\n";
+    return 0;
+}

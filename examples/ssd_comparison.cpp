@@ -1,0 +1,91 @@
+/**
+ * @file
+ * FTL comparison on a chosen workload and aging state — a miniature
+ * version of the paper's evaluation (Sec. 6).
+ *
+ *   ./ssd_comparison [workload] [pe_cycles] [retention_months]
+ *
+ * workload: mail | web | proxy | oltp | rocks | mongo (default oltp)
+ * Runs pageFTL, vertFTL, cubeFTL-, and cubeFTL, and prints IOPS,
+ * latency percentiles, and the PS-aware statistics.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/cubessd.h"
+
+using namespace cubessd;
+
+namespace {
+
+workload::WorkloadSpec
+specByName(const std::string &name)
+{
+    for (const auto &spec : workload::allWorkloads()) {
+        std::string lower = spec.name;
+        for (auto &ch : lower)
+            ch = static_cast<char>(std::tolower(ch));
+        if (lower == name)
+            return spec;
+    }
+    std::cerr << "unknown workload '" << name << "', using OLTP\n";
+    return workload::oltp();
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto spec = specByName(argc > 1 ? argv[1] : "oltp");
+    nand::AgingState aging;
+    aging.peCycles =
+        argc > 2 ? static_cast<PeCycles>(std::atoi(argv[2])) : 0;
+    aging.retentionMonths = argc > 3 ? std::atof(argv[3]) : 0.0;
+
+    std::cout << "workload " << spec.name << ", " << aging.peCycles
+              << " P/E + " << aging.retentionMonths
+              << " months retention\n\n";
+
+    metrics::Table table({"FTL", "IOPS", "write p90 (ms)",
+                          "read p90 (ms)", "WAF", "avg tPROG (us)",
+                          "retries"});
+    double pageIops = 0.0, cubeIops = 0.0;
+    for (const auto kind :
+         {ssd::FtlKind::Page, ssd::FtlKind::Vert, ssd::FtlKind::CubeMinus,
+          ssd::FtlKind::Cube}) {
+        ssd::SsdConfig config;
+        config.chip.geometry.blocksPerChip = 128;
+        config.ftl = kind;
+        ssd::Ssd dev(config);
+        workload::WorkloadGenerator gen(spec, dev.logicalPages(), 7);
+        workload::Driver driver(dev, gen);
+        dev.setAging({aging.peCycles, 0.0});
+        driver.prefill(0.2);
+        dev.setAging(aging);
+        const auto result = driver.run(20000);
+        const auto &stats = dev.ftl().stats();
+        table.row({ssd::ftlKindName(kind),
+                   metrics::format(result.iops, 0),
+                   metrics::format(
+                       result.writeLatencyUs.percentile(90) / 1000.0,
+                       2),
+                   metrics::format(
+                       result.readLatencyUs.percentile(90) / 1000.0,
+                       2),
+                   metrics::format(stats.writeAmplification(), 2),
+                   metrics::format(stats.avgProgramLatencyUs(), 0),
+                   std::to_string(stats.readRetries)});
+        if (kind == ssd::FtlKind::Page)
+            pageIops = result.iops;
+        if (kind == ssd::FtlKind::Cube)
+            cubeIops = result.iops;
+    }
+    table.print(std::cout);
+    std::cout << "\ncubeFTL vs pageFTL: "
+              << metrics::formatPercent(cubeIops / pageIops - 1.0)
+              << " IOPS\n";
+    return 0;
+}

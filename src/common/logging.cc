@@ -1,0 +1,78 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cubessd {
+
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info:  return "info";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+
+void
+vlogTo(std::FILE *out, const char *tag, const char *fmt, std::va_list args)
+{
+    std::fprintf(out, "[cubessd:%s] ", tag);
+    std::vfprintf(out, fmt, args);
+    std::fputc('\n', out);
+}
+
+}  // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+logf(LogLevel level, const char *fmt, ...)
+{
+    if (static_cast<int>(level) < static_cast<int>(g_level))
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    vlogTo(level >= LogLevel::Warn ? stderr : stdout, levelName(level), fmt,
+           args);
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    vlogTo(stderr, "fatal", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    vlogTo(stderr, "panic", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+}  // namespace cubessd

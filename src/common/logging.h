@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal logging and error-termination helpers.
+ *
+ * Follows the gem5 fatal()/panic() distinction:
+ *  - fatal():  the *user* asked for something impossible (bad config);
+ *              exits with an error code.
+ *  - panic():  the *library* violated one of its own invariants; aborts.
+ */
+
+#ifndef CUBESSD_COMMON_LOGGING_H
+#define CUBESSD_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace cubessd {
+
+/** Severity levels for runtime log messages. */
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/**
+ * Global log threshold; messages below it are suppressed.
+ * Defaults to Warn so library users see problems but not chatter.
+ */
+void setLogLevel(LogLevel level);
+
+/** @return the current global log threshold. */
+LogLevel logLevel();
+
+/** printf-style log with severity filtering. */
+void logf(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Report a user/configuration error and exit(1). Never returns. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal invariant violation and abort(). Never returns. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace cubessd
+
+#endif  // CUBESSD_COMMON_LOGGING_H

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Umbrella header for the cubeSSD library.
+ *
+ * cubeSSD reproduces "Exploiting Process Similarity of 3D Flash Memory
+ * for High Performance SSDs" (MICRO-52, 2019): a behavioural 3D TLC
+ * NAND model with the paper's process similarity/variability
+ * structure, a discrete-event SSD simulator, and four FTLs (pageFTL,
+ * vertFTL, cubeFTL, cubeFTL-).
+ *
+ * Typical entry points:
+ *  - whole-device simulation: ssd::Ssd + workload::Driver
+ *  - chip-level characterization: nand::NandChip
+ */
+
+#ifndef CUBESSD_CUBESSD_H
+#define CUBESSD_CUBESSD_H
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/common/units.h"
+#include "src/common/zipf.h"
+#include "src/ecc/ecc.h"
+#include "src/ftl/cube_ftl.h"
+#include "src/ftl/ftl_base.h"
+#include "src/ftl/page_ftl.h"
+#include "src/ftl/program_order.h"
+#include "src/ftl/vert_ftl.h"
+#include "src/metrics/report.h"
+#include "src/nand/chip.h"
+#include "src/sim/event_queue.h"
+#include "src/ssd/ssd.h"
+#include "src/workload/driver.h"
+#include "src/workload/trace.h"
+#include "src/workload/workload.h"
+
+#endif  // CUBESSD_CUBESSD_H

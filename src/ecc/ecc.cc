@@ -1,0 +1,45 @@
+#include "src/ecc/ecc.h"
+
+#include "src/common/logging.h"
+
+namespace cubessd::ecc {
+
+EccModel::EccModel(const EccConfig &config)
+    : config_(config)
+{
+    if (config_.codewordDataBytes == 0 || config_.correctableBits == 0)
+        fatal("EccModel: zero-sized code");
+    const double bits = static_cast<double>(config_.codewordDataBytes) * 8.0;
+    limitBer_ = config_.derating *
+                static_cast<double>(config_.correctableBits) / bits;
+}
+
+double
+EccModel::expectedErrors(double rawBer) const
+{
+    return rawBer * static_cast<double>(config_.codewordDataBytes) * 8.0;
+}
+
+std::uint32_t
+EccModel::codewordsPerPage(std::uint32_t pageBytes) const
+{
+    return (pageBytes + config_.codewordDataBytes - 1) /
+           config_.codewordDataBytes;
+}
+
+std::uint64_t
+EccModel::decodeLatencyNs(double rawBer, bool softHint) const
+{
+    if (rawBer <= hardLimitBer()) {
+        // Clean page: the hard decode is pipelined with the bus
+        // transfer, so no latency is exposed (even with a mistaken
+        // soft hint, controllers try the cheap hard path first).
+        return 0;
+    }
+    // Noisy page: the soft decode is required; without the hint the
+    // controller discovers that by failing the hard attempt first.
+    return softHint ? config_.tSoftDecodeNs
+                    : config_.tHardDecodeNs + config_.tSoftDecodeNs;
+}
+
+}  // namespace cubessd::ecc

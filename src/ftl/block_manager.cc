@@ -1,0 +1,149 @@
+#include "src/ftl/block_manager.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace cubessd::ftl {
+
+BlockManager::BlockManager(const nand::NandGeometry &geom)
+    : geom_(geom)
+{
+    blocks_.resize(geom_.blocksPerChip);
+    for (std::uint32_t b = 0; b < geom_.blocksPerChip; ++b) {
+        blocks_[b].p2l.assign(geom_.pagesPerBlock(), kInvalidLba);
+        blocks_[b].valid.assign(geom_.pagesPerBlock(), false);
+        freeList_.push_back(b);
+    }
+}
+
+std::uint32_t
+BlockManager::allocate()
+{
+    if (freeList_.empty())
+        fatal("BlockManager: out of free blocks (GC watermarks too low "
+              "or over-provisioning exhausted)");
+    // Dynamic wear leveling: take the least-worn free block (the free
+    // list is short, so a linear scan is fine).
+    auto best = freeList_.begin();
+    for (auto it = freeList_.begin(); it != freeList_.end(); ++it) {
+        if (blocks_[*it].eraseCount < blocks_[*best].eraseCount)
+            best = it;
+    }
+    const std::uint32_t block = *best;
+    freeList_.erase(best);
+    auto &info = blocks_[block];
+    if (!info.isFree)
+        panic("BlockManager: block %u on free list but not free", block);
+    info.isFree = false;
+    info.isActive = true;
+    return block;
+}
+
+void
+BlockManager::release(std::uint32_t block)
+{
+    auto &info = blocks_.at(block);
+    if (info.validCount != 0)
+        panic("BlockManager: releasing block %u with %u valid pages",
+              block, info.validCount);
+    info.p2l.assign(geom_.pagesPerBlock(), kInvalidLba);
+    info.valid.assign(geom_.pagesPerBlock(), false);
+    info.programmedWls = 0;
+    ++info.eraseCount;
+    info.isFree = true;
+    info.isActive = false;
+    freeList_.push_back(block);
+}
+
+void
+BlockManager::close(std::uint32_t block)
+{
+    auto &info = blocks_.at(block);
+    if (info.isFree)
+        panic("BlockManager: closing free block %u", block);
+    info.isActive = false;
+}
+
+void
+BlockManager::markValid(std::uint32_t block, std::uint32_t pageInBlock,
+                        Lba lba)
+{
+    auto &info = blocks_.at(block);
+    if (info.valid.at(pageInBlock))
+        panic("BlockManager: page %u of block %u already valid",
+              pageInBlock, block);
+    info.valid[pageInBlock] = true;
+    info.p2l[pageInBlock] = lba;
+    ++info.validCount;
+}
+
+void
+BlockManager::markInvalid(std::uint32_t block, std::uint32_t pageInBlock)
+{
+    auto &info = blocks_.at(block);
+    if (!info.valid.at(pageInBlock))
+        return;  // idempotent: racing invalidations are benign
+    info.valid[pageInBlock] = false;
+    info.p2l[pageInBlock] = kInvalidLba;
+    --info.validCount;
+}
+
+void
+BlockManager::noteWlProgrammed(std::uint32_t block)
+{
+    auto &info = blocks_.at(block);
+    ++info.programmedWls;
+    if (info.programmedWls > geom_.wlsPerBlock())
+        panic("BlockManager: block %u over-programmed", block);
+}
+
+std::optional<std::uint32_t>
+BlockManager::pickVictim() const
+{
+    std::optional<std::uint32_t> best;
+    std::uint32_t bestValid = 0;
+    for (std::uint32_t b = 0; b < blocks_.size(); ++b) {
+        const auto &info = blocks_[b];
+        if (info.isFree || info.isActive)
+            continue;
+        if (info.programmedWls != geom_.wlsPerBlock())
+            continue;  // only fully written blocks are GC candidates
+        // A collection's own partial-WL padding can waste up to
+        // pagesPerWl-1 pages, so a victim must reclaim more than that
+        // or GC feeds on its own leftovers and never converges.
+        if (info.validCount + geom_.pagesPerWl > geom_.pagesPerBlock())
+            continue;
+        // Greedy by reclaimable space; ties broken toward the
+        // least-worn block so GC churn spreads across the chip.
+        if (!best || info.validCount < bestValid ||
+            (info.validCount == bestValid &&
+             info.eraseCount < blocks_[*best].eraseCount)) {
+            best = b;
+            bestValid = info.validCount;
+        }
+    }
+    return best;
+}
+
+std::uint64_t
+BlockManager::totalValid() const
+{
+    std::uint64_t total = 0;
+    for (const auto &info : blocks_)
+        total += info.validCount;
+    return total;
+}
+
+std::uint32_t
+BlockManager::wearSpread() const
+{
+    std::uint32_t lo = ~0u, hi = 0;
+    for (const auto &info : blocks_) {
+        lo = std::min(lo, info.eraseCount);
+        hi = std::max(hi, info.eraseCount);
+    }
+    return hi - lo;
+}
+
+}  // namespace cubessd::ftl

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Per-chip physical block bookkeeping: free list, valid-page counts,
+ * reverse (P2L) mapping, and greedy victim selection for GC.
+ */
+
+#ifndef CUBESSD_FTL_BLOCK_MANAGER_H
+#define CUBESSD_FTL_BLOCK_MANAGER_H
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/nand/geometry.h"
+
+namespace cubessd::ftl {
+
+/** State of one physical block within a chip. */
+struct BlockInfo
+{
+    std::vector<Lba> p2l;        ///< reverse map (kInvalidLba if none)
+    std::vector<bool> valid;     ///< per-page validity
+    std::uint32_t validCount = 0;
+    std::uint32_t programmedWls = 0;
+    std::uint32_t eraseCount = 0;  ///< wear (for wear leveling)
+    bool isFree = true;
+    bool isActive = false;       ///< open as a write point (not a victim)
+};
+
+class BlockManager
+{
+  public:
+    explicit BlockManager(const nand::NandGeometry &geom);
+
+    const nand::NandGeometry &geometry() const { return geom_; }
+
+    std::size_t freeCount() const { return freeList_.size(); }
+
+    /**
+     * Pop the *least-worn* free block and mark it active (dynamic
+     * wear leveling: new data always lands on the youngest block).
+     * Fatal if the free list is empty (the FTL's GC watermarks are
+     * supposed to prevent this).
+     */
+    std::uint32_t allocate();
+
+    /** Return an erased block to the free list, counting the wear. */
+    void release(std::uint32_t block);
+
+    /** Mark a fully written active block as closed (GC-eligible). */
+    void close(std::uint32_t block);
+
+    BlockInfo &info(std::uint32_t block) { return blocks_.at(block); }
+    const BlockInfo &
+    info(std::uint32_t block) const
+    {
+        return blocks_.at(block);
+    }
+
+    /** Record that `pageInBlock` of `block` now holds `lba`'s data. */
+    void markValid(std::uint32_t block, std::uint32_t pageInBlock,
+                   Lba lba);
+
+    /** Invalidate one physical page (old version or discarded data). */
+    void markInvalid(std::uint32_t block, std::uint32_t pageInBlock);
+
+    /** Account one WL of `block` as programmed. */
+    void noteWlProgrammed(std::uint32_t block);
+
+    /**
+     * Greedy victim selection: the closed block with the fewest valid
+     * pages. Fully-valid blocks are never returned — collecting them
+     * cannot free space (relocation consumes exactly what the erase
+     * reclaims) and would livelock the GC.
+     * @return nullopt if no profitable victim exists.
+     */
+    std::optional<std::uint32_t> pickVictim() const;
+
+    /** Total valid pages across all blocks (consistency checks). */
+    std::uint64_t totalValid() const;
+
+    /** Wear imbalance: max - min erase count across all blocks. */
+    std::uint32_t wearSpread() const;
+
+  private:
+    nand::NandGeometry geom_;
+    std::vector<BlockInfo> blocks_;
+    std::deque<std::uint32_t> freeList_;
+};
+
+}  // namespace cubessd::ftl
+
+#endif  // CUBESSD_FTL_BLOCK_MANAGER_H

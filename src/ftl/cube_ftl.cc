@@ -1,0 +1,199 @@
+#include "src/ftl/cube_ftl.h"
+
+#include "src/common/logging.h"
+
+namespace cubessd::ftl {
+
+CubeFtl::CubeFtl(const ssd::SsdConfig &config,
+                 std::vector<ssd::ChipUnit> &chips,
+                 sim::EventQueue &queue, const OpmConfig &opmConfig,
+                 const ssd::CubeFeatures &features)
+    : FtlBase(config, chips, queue),
+      opm_(opmConfig, chips.front().chip().errors(),
+           chips.front().chip().ecc(),
+           chips.front().chip().ispp().config().deltaVMv),
+      wam_(config.bufferHighWatermark),
+      ort_(chipCount(), config.chip.geometry.blocksPerChip,
+           config.chip.geometry.layersPerBlock),
+      features_(features),
+      state_(chipCount())
+{
+}
+
+void
+CubeFtl::ensureOpen(std::uint32_t chip)
+{
+    auto &cs = state_[chip];
+    if (cs.open)
+        return;
+    cs.host[0].block = allocateBlock(chip);
+    if (features_.wam)
+        cs.host[1].block = allocateBlock(chip);
+    cs.open = true;
+}
+
+WlChoice
+CubeFtl::pickHostWl(std::uint32_t chip, double mu)
+{
+    ensureOpen(chip);
+    auto &cs = state_[chip];
+    const auto &geom = geometry();
+
+    // Replace exhausted write points with fresh blocks first, so a
+    // leader WL is always reachable.
+    const std::size_t points = features_.wam ? 2 : 1;
+    for (std::size_t i = 0; i < points; ++i) {
+        if (cs.host[i].full(geom)) {
+            cs.host[i] = MixedWritePoint{};
+            cs.host[i].block = allocateBlock(chip);
+        }
+    }
+
+    // cubeFTL-: no workload awareness; filling follower-first on one
+    // write point degenerates to the horizontal-first order.
+    const double effectiveMu = features_.wam ? mu : 1.0;
+    const bool wantFollower = effectiveMu > wam_.muThreshold();
+
+    auto tryTake = [&](bool follower) -> std::optional<WlChoice> {
+        for (std::size_t i = 0; i < points; ++i) {
+            auto c = follower ? wam_.takeFollower(cs.host[i], geom)
+                              : wam_.takeLeader(cs.host[i], geom);
+            if (c)
+                return c;
+        }
+        return std::nullopt;
+    };
+
+    if (auto c = tryTake(wantFollower))
+        return *c;
+    if (auto c = tryTake(!wantFollower))
+        return *c;
+    panic("CubeFtl: no programmable WL on chip %u", chip);
+}
+
+WlChoice
+CubeFtl::pickGcWl(std::uint32_t chip, double mu)
+{
+    auto &cs = state_[chip];
+    const auto &geom = geometry();
+    if (!cs.gcOpen || cs.gc.full(geom)) {
+        cs.gc = MixedWritePoint{};
+        cs.gc.block = allocateBlock(chip);
+        cs.gcOpen = true;
+    }
+    if (auto c = wam_.choose(cs.gc, geom, features_.wam ? mu : 1.0))
+        return *c;
+    panic("CubeFtl: no programmable GC WL on chip %u", chip);
+}
+
+ProgramChoice
+CubeFtl::finalizeChoice(std::uint32_t chip, const WlChoice &pick)
+{
+    ProgramChoice choice;
+    choice.wl = pick.wl;
+    choice.isLeader = pick.isLeader;
+    if (pick.isLeader) {
+        // Leaders run with default parameters and are monitored
+        // (paper footnote 4: no tPROG reduction for leader WLs).
+        choice.monitor = true;
+        return choice;
+    }
+    auto &cs = state_[chip];
+    const auto it =
+        cs.params.find(paramKey(pick.wl.block, pick.wl.layer));
+    if (it != cs.params.end() && it->second.valid) {
+        choice.cmd = it->second.followerCommand(features_.vfySkip,
+                                                features_.windowAdjust);
+        choice.monitor = false;
+        ++cubeStats_.followerWithParams;
+    } else {
+        // Leader data not (yet) available — e.g. invalidated by a
+        // safety re-program. Fall back to a monitored default program.
+        choice.monitor = true;
+        ++cubeStats_.followerWithoutParams;
+    }
+    return choice;
+}
+
+ProgramChoice
+CubeFtl::chooseProgramTarget(std::uint32_t chip, bool forGc, double mu)
+{
+    const WlChoice pick =
+        forGc ? pickGcWl(chip, mu) : pickHostWl(chip, mu);
+    return finalizeChoice(chip, pick);
+}
+
+MilliVolt
+CubeFtl::readShiftFor(std::uint32_t chip, const nand::PageAddr &addr)
+{
+    if (!features_.ort)
+        return 0;
+    const MilliVolt shift = ort_.lookup(chip, addr.block, addr.layer);
+    if (shift != 0)
+        ++cubeStats_.ortGuidedReads;
+    return shift;
+}
+
+bool
+CubeFtl::readSoftHint(std::uint32_t chip, const nand::PageAddr &addr)
+{
+    // A non-default ORT entry means this h-layer has already needed
+    // retries: its pages are noisy, so start with the soft decode
+    // (the paper's Sec. 8 leader-informed ECC idea).
+    if (!features_.eccHint || !features_.ort)
+        return false;
+    return ort_.lookup(chip, addr.block, addr.layer) != 0;
+}
+
+void
+CubeFtl::onProgramComplete(std::uint32_t chip,
+                           const ProgramChoice &choice,
+                           const nand::WlProgramResult &result)
+{
+    if (choice.monitor) {
+        state_[chip].params[paramKey(choice.wl.block, choice.wl.layer)] =
+            opm_.derive(result,
+                        chipModel(chip).blockAging(choice.wl.block));
+    }
+}
+
+void
+CubeFtl::onReadComplete(std::uint32_t chip, const nand::PageAddr &addr,
+                        const nand::ReadOutcome &outcome)
+{
+    // Remember the shift that finally decoded for this h-layer; the
+    // next read to any WL on the layer starts there (Sec. 4.2).
+    if (features_.ort && outcome.numRetries > 0 && !outcome.uncorrectable)
+        ort_.update(chip, addr.block, addr.layer, outcome.successShiftMv);
+}
+
+void
+CubeFtl::onBlockErased(std::uint32_t chip, std::uint32_t block)
+{
+    ort_.resetBlock(chip, block);
+    auto &params = state_[chip].params;
+    const std::uint64_t base = paramKey(block, 0);
+    for (std::uint32_t l = 0; l < geometry().layersPerBlock; ++l)
+        params.erase(base + l);
+}
+
+bool
+CubeFtl::safetyCheck(std::uint32_t chip, const ProgramChoice &choice,
+                     const nand::WlProgramResult &result)
+{
+    auto &params = state_[chip].params;
+    const auto key = paramKey(choice.wl.block, choice.wl.layer);
+    const auto it = params.find(key);
+    if (it == params.end() || !it->second.valid)
+        return false;
+    if (opm_.needsReprogram(it->second, result)) {
+        // The monitored parameters no longer reflect reality (e.g. a
+        // sudden operating-condition change); drop them so the
+        // re-program is monitored afresh.
+        params.erase(it);
+        return true;
+    }
+    return false;
+}
+
+}  // namespace cubessd::ftl

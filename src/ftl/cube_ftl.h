@@ -1,0 +1,105 @@
+/**
+ * @file
+ * cubeFTL: the paper's PS-aware FTL (Sec. 5).
+ *
+ * Combines all four techniques on top of the shared FTL engine:
+ *
+ *  - OPM: monitors each h-layer's leader WL ([L_min, L_max], BER_EP1)
+ *    and derives the follower program command (VFY skip plan +
+ *    V_Start/V_Final adjustment), plus the Sec. 4.1.4 safety check;
+ *  - WAM: steers each flush to a leader or follower WL based on the
+ *    write-buffer utilization, managing two active blocks per chip in
+ *    fully mixed (MOS) order;
+ *  - ORT: caches the most recent good read-reference shift per
+ *    physical h-layer and reuses it for every read on that layer.
+ *
+ * Constructing with `wamEnabled = false` yields the paper's cubeFTL-
+ * ablation: PS-aware program/read parameters, but horizontal-first
+ * allocation with no workload awareness.
+ */
+
+#ifndef CUBESSD_FTL_CUBE_FTL_H
+#define CUBESSD_FTL_CUBE_FTL_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/ftl/ftl_base.h"
+#include "src/ftl/opm.h"
+#include "src/ftl/ort.h"
+#include "src/ftl/wam.h"
+
+namespace cubessd::ftl {
+
+/** cubeFTL-specific counters (on top of FtlStats). */
+struct CubeFtlStats
+{
+    std::uint64_t followerWithParams = 0;  ///< fast-path followers
+    std::uint64_t followerWithoutParams = 0;  ///< degraded to monitor
+    std::uint64_t ortGuidedReads = 0;
+};
+
+class CubeFtl : public FtlBase
+{
+  public:
+    CubeFtl(const ssd::SsdConfig &config,
+            std::vector<ssd::ChipUnit> &chips, sim::EventQueue &queue,
+            const OpmConfig &opmConfig = {},
+            const ssd::CubeFeatures &features = {});
+
+    const ssd::CubeFeatures &features() const { return features_; }
+    bool wamEnabled() const { return features_.wam; }
+    const Ort &ort() const { return ort_; }
+    const CubeFtlStats &cubeStats() const { return cubeStats_; }
+
+  protected:
+    ProgramChoice chooseProgramTarget(std::uint32_t chip, bool forGc,
+                                      double mu) override;
+    MilliVolt readShiftFor(std::uint32_t chip,
+                           const nand::PageAddr &addr) override;
+    bool readSoftHint(std::uint32_t chip,
+                      const nand::PageAddr &addr) override;
+    void onProgramComplete(std::uint32_t chip,
+                           const ProgramChoice &choice,
+                           const nand::WlProgramResult &result) override;
+    void onReadComplete(std::uint32_t chip, const nand::PageAddr &addr,
+                        const nand::ReadOutcome &outcome) override;
+    void onBlockErased(std::uint32_t chip, std::uint32_t block) override;
+    bool safetyCheck(std::uint32_t chip, const ProgramChoice &choice,
+                     const nand::WlProgramResult &result) override;
+
+  private:
+    /** Host write points (two active blocks per chip) + one GC point. */
+    struct ChipState
+    {
+        bool open = false;
+        MixedWritePoint host[2];
+        MixedWritePoint gc;
+        bool gcOpen = false;
+        /** OPM parameter cache: (block * L + layer) -> LeaderParams. */
+        std::unordered_map<std::uint64_t, LeaderParams> params;
+    };
+
+    std::uint64_t paramKey(std::uint32_t block, std::uint32_t layer) const
+    {
+        return static_cast<std::uint64_t>(block) *
+                   geometry().layersPerBlock + layer;
+    }
+
+    void ensureOpen(std::uint32_t chip);
+    WlChoice pickHostWl(std::uint32_t chip, double mu);
+    WlChoice pickGcWl(std::uint32_t chip, double mu);
+    ProgramChoice finalizeChoice(std::uint32_t chip,
+                                 const WlChoice &pick);
+
+    Opm opm_;
+    Wam wam_;
+    Ort ort_;
+    ssd::CubeFeatures features_;
+    std::vector<ChipState> state_;
+    CubeFtlStats cubeStats_;
+};
+
+}  // namespace cubessd::ftl
+
+#endif  // CUBESSD_FTL_CUBE_FTL_H

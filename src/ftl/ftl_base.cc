@@ -1,0 +1,616 @@
+#include "src/ftl/ftl_base.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace cubessd::ftl {
+
+FtlBase::FtlBase(const ssd::SsdConfig &config,
+                 std::vector<ssd::ChipUnit> &chips,
+                 sim::EventQueue &queue)
+    : config_(config),
+      chips_(chips),
+      queue_(queue),
+      geom_(config.chip.geometry),
+      codec_(geom_),
+      mapping_(config.logicalPages()),
+      buffer_(config.writeBufferPages),
+      latestIssued_(config.logicalPages(), 0),
+      outstandingFlush_(chips.size(), false),
+      gc_(chips.size())
+{
+    if (chips_.empty())
+        fatal("FtlBase: no chips");
+    if (config_.writeBufferPages < geom_.pagesPerWl)
+        fatal("FtlBase: write buffer smaller than one WL");
+
+    // The over-provisioned space must cover the active write points
+    // plus the GC watermarks on every chip, or a full device cannot
+    // reach a steady state.
+    const std::uint64_t dataBlocksPerChip =
+        (config_.logicalPages() / chips_.size() + geom_.pagesPerBlock() -
+         1) / geom_.pagesPerBlock();
+    const std::uint64_t spare = geom_.blocksPerChip > dataBlocksPerChip
+        ? geom_.blocksPerChip - dataBlocksPerChip
+        : 0;
+    if (spare < config_.gcHighWatermark + 3) {
+        fatal("FtlBase: only %llu spare blocks per chip; need at least "
+              "gcHighWatermark + 3 = %u (lower logicalFraction or grow "
+              "blocksPerChip)",
+              static_cast<unsigned long long>(spare),
+              config_.gcHighWatermark + 3);
+    }
+    blockMgrs_.reserve(chips_.size());
+    for (std::size_t i = 0; i < chips_.size(); ++i)
+        blockMgrs_.emplace_back(geom_);
+}
+
+const BlockManager &
+FtlBase::blockManager(std::uint32_t chip) const
+{
+    return blockMgrs_.at(chip);
+}
+
+std::uint32_t
+FtlBase::allocateBlock(std::uint32_t chip)
+{
+    return blockMgrs_.at(chip).allocate();
+}
+
+std::uint64_t
+FtlBase::tokenFor(Lba lba, std::uint64_t version)
+{
+    std::uint64_t x = lba * 0x9E3779B97F4A7C15ull + version;
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    return x | 1;  // never zero
+}
+
+Ppa
+FtlBase::encodePpa(std::uint32_t chip, const nand::PageAddr &addr) const
+{
+    return static_cast<Ppa>(chip) * geom_.pagesPerChip() +
+           codec_.encode(addr);
+}
+
+std::pair<std::uint32_t, nand::PageAddr>
+FtlBase::decodePpa(Ppa ppa) const
+{
+    const auto perChip = geom_.pagesPerChip();
+    const auto chip = static_cast<std::uint32_t>(ppa / perChip);
+    return {chip, codec_.decode(ppa % perChip)};
+}
+
+std::uint32_t
+FtlBase::pageInBlock(const nand::PageAddr &addr) const
+{
+    return (addr.layer * geom_.wlsPerLayer + addr.wl) * geom_.pagesPerWl +
+           addr.page;
+}
+
+// ---------------------------------------------------------------------
+// Host read path
+// ---------------------------------------------------------------------
+
+void
+FtlBase::hostRead(const ssd::HostRequest &req, CompletionFn done)
+{
+    struct ReadContext
+    {
+        ssd::HostRequest req;
+        CompletionFn done;
+        std::uint32_t remaining;
+    };
+    auto ctx = std::make_shared<ReadContext>(
+        ReadContext{req, std::move(done), req.pages});
+
+    auto finishPiece = [this, ctx]() {
+        if (--ctx->remaining == 0 && ctx->done) {
+            ssd::Completion c;
+            c.id = ctx->req.id;
+            c.type = ssd::IoType::Read;
+            c.pages = ctx->req.pages;
+            c.arrival = ctx->req.arrival;
+            c.finish = queue_.now();
+            ctx->done(c);
+        }
+    };
+
+    for (std::uint32_t i = 0; i < req.pages; ++i) {
+        const Lba lba = req.lba + i;
+        if (lba >= mapping_.logicalPages())
+            fatal("hostRead: LBA beyond logical capacity");
+        ++stats_.hostReadPages;
+
+        // 1) write buffer, 2) in-flight flushes, 3) NAND.
+        if (buffer_.lookup(lba) || inFlight_.contains(lba)) {
+            ++stats_.bufferHits;
+            queue_.schedule(config_.bufferReadTime, finishPiece);
+            continue;
+        }
+        const Ppa ppa = mapping_.lookup(lba);
+        if (ppa == kInvalidPpa) {
+            ++stats_.unmappedReads;
+            queue_.schedule(config_.bufferReadTime, finishPiece);
+            continue;
+        }
+
+        const auto [chip, addr] = decodePpa(ppa);
+        ssd::NandOp op;
+        op.kind = ssd::NandOp::Kind::Read;
+        op.page = addr;
+        op.readShiftMv = readShiftFor(chip, addr);
+        op.readSoftHint = readSoftHint(chip, addr);
+        op.highPriority = true;
+        op.done = [this, chip, addr, finishPiece](
+                      const ssd::NandOpResult &r) {
+            stats_.readRetries +=
+                static_cast<std::uint64_t>(r.read.numRetries);
+            if (r.read.uncorrectable)
+                ++stats_.uncorrectableReads;
+            onReadComplete(chip, addr, r.read);
+            finishPiece();
+        };
+        ++stats_.nandReads;
+        chips_[chip].enqueue(std::move(op));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Host write path
+// ---------------------------------------------------------------------
+
+void
+FtlBase::hostWrite(const ssd::HostRequest &req, CompletionFn done)
+{
+    auto write = std::make_shared<StalledWrite>(
+        StalledWrite{req, std::move(done), 0});
+    processWrite(write);
+    maybeFlush();
+}
+
+void
+FtlBase::processWrite(const std::shared_ptr<StalledWrite> &write)
+{
+    while (write->nextPage < write->req.pages) {
+        const Lba lba = write->req.lba + write->nextPage;
+        if (lba >= mapping_.logicalPages())
+            fatal("hostWrite: LBA beyond logical capacity");
+        const std::uint64_t version = nextVersion();
+        const std::uint64_t token = tokenFor(lba, version);
+        if (!buffer_.insert(lba, token, version)) {
+            // Buffer full: park the request; a flush completion will
+            // resume it. The unissued version number is harmless.
+            ++stats_.writeStalls;
+            stalled_.push_back(write);
+            return;
+        }
+        latestIssued_[lba] = version;
+        ++stats_.hostWritePages;
+        ++write->nextPage;
+    }
+    completeWrite(write->req, write->done);
+}
+
+void
+FtlBase::completeWrite(const ssd::HostRequest &req,
+                       const CompletionFn &done)
+{
+    queue_.schedule(config_.bufferReadTime, [this, req, done]() {
+        if (!done)
+            return;
+        ssd::Completion c;
+        c.id = req.id;
+        c.type = ssd::IoType::Write;
+        c.pages = req.pages;
+        c.arrival = req.arrival;
+        c.finish = queue_.now();
+        done(c);
+    });
+}
+
+void
+FtlBase::retryStalledWrites()
+{
+    while (!stalled_.empty()) {
+        auto write = stalled_.front();
+        stalled_.pop_front();
+        const std::uint32_t before = write->nextPage;
+        processWrite(write);
+        if (write->nextPage < write->req.pages) {
+            // Re-stalled: processWrite already re-queued it (at the
+            // back). Restore FIFO fairness by moving it to the front.
+            if (!stalled_.empty() && stalled_.back() == write) {
+                stalled_.pop_back();
+                stalled_.push_front(write);
+            }
+            if (write->nextPage == before)
+                break;  // no progress possible until the next flush
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flush path
+// ---------------------------------------------------------------------
+
+void
+FtlBase::flushAll()
+{
+    drainMode_ = true;
+    maybeFlush();
+}
+
+void
+FtlBase::maybeFlush()
+{
+    for (;;) {
+        const bool fullBatch = buffer_.size() >= geom_.pagesPerWl;
+        const bool drainBatch = drainMode_ && !buffer_.empty();
+        if (!fullBatch && !drainBatch)
+            break;
+
+        // Find a chip without an outstanding host flush. Chips that
+        // are urgently low on free blocks are skipped (backpressure):
+        // their remaining blocks are reserved for GC to make progress.
+        std::uint32_t chip = chips_.size();
+        for (std::uint32_t i = 0; i < chips_.size(); ++i) {
+            const std::uint32_t c =
+                (flushCursor_ + i) % chips_.size();
+            if (blockMgrs_[c].freeCount() <= config_.gcUrgentWatermark) {
+                // Hold host flushes back only while GC can actually
+                // make progress there; if nothing is collectable
+                // (e.g. a pure sequential fill has no invalid pages)
+                // the flush must proceed or the device deadlocks.
+                maybeStartGc(c);
+                if (gc_[c].active)
+                    continue;
+            }
+            if (!outstandingFlush_[c]) {
+                chip = c;
+                break;
+            }
+        }
+        if (chip == chips_.size())
+            break;
+        flushCursor_ = (chip + 1) % chips_.size();
+
+        auto popped = buffer_.popOldest(geom_.pagesPerWl);
+        std::vector<FlushEntry> batch;
+        batch.reserve(geom_.pagesPerWl);
+        for (const auto &e : popped) {
+            batch.push_back(FlushEntry{e.lba, e.token, e.version,
+                                       kInvalidPpa});
+            auto [it, inserted] = inFlight_.try_emplace(
+                e.lba, std::make_pair(e.token, e.version));
+            if (!inserted && it->second.second < e.version)
+                it->second = {e.token, e.version};
+        }
+        while (batch.size() < geom_.pagesPerWl)
+            batch.push_back(FlushEntry{});  // padding (drain mode)
+
+        dispatchFlush(chip, std::move(batch), /*forGc=*/false);
+    }
+    if (drainMode_ && buffer_.empty())
+        drainMode_ = false;
+}
+
+void
+FtlBase::dispatchFlush(std::uint32_t chip, std::vector<FlushEntry> batch,
+                       bool forGc)
+{
+    const double mu = buffer_.utilization();
+    ProgramChoice choice = chooseProgramTarget(chip, forGc, mu);
+
+    if (choice.isLeader)
+        ++stats_.leaderPrograms;
+    else
+        ++stats_.followerPrograms;
+
+    std::vector<std::uint64_t> tokens;
+    tokens.reserve(batch.size());
+    for (const auto &e : batch)
+        tokens.push_back(e.token);
+
+    if (forGc)
+        ++gc_[chip].outstandingPrograms;
+    else
+        outstandingFlush_[chip] = true;
+
+    ssd::NandOp op;
+    op.kind = ssd::NandOp::Kind::Program;
+    op.wl = choice.wl;
+    op.cmd = choice.cmd;
+    op.tokens = std::move(tokens);
+    op.done = [this, chip, choice, forGc,
+               batch = std::move(batch)](const ssd::NandOpResult &r) {
+        handleProgramComplete(chip, choice, batch, forGc, r);
+    };
+    chips_[chip].enqueue(std::move(op));
+}
+
+void
+FtlBase::handleProgramComplete(std::uint32_t chip, ProgramChoice choice,
+                               std::vector<FlushEntry> batch, bool forGc,
+                               const ssd::NandOpResult &result)
+{
+    stats_.programLatencySum += result.program.tProg;
+    if (forGc)
+        ++stats_.gcPrograms;
+    else
+        ++stats_.hostPrograms;
+
+    auto &mgr = blockMgrs_[chip];
+    mgr.noteWlProgrammed(choice.wl.block);
+    if (mgr.info(choice.wl.block).programmedWls == geom_.wlsPerBlock())
+        mgr.close(choice.wl.block);
+
+    if (forGc)
+        --gc_[chip].outstandingPrograms;
+    else
+        outstandingFlush_[chip] = false;
+
+    // Safety check (Sec. 4.1.4): a follower whose program deviated from
+    // the leader-derived expectation is re-programmed on the next WL.
+    if (!choice.monitor &&
+        safetyCheck(chip, choice, result.program)) {
+        ++stats_.safetyReprograms;
+        dispatchFlush(chip, std::move(batch), forGc);
+        maybeStartGc(chip);
+        return;
+    }
+
+    applyMappings(chip, choice.wl, batch);
+    onProgramComplete(chip, choice, result.program);
+
+    if (forGc) {
+        continueGc(chip);
+    } else {
+        retryStalledWrites();
+    }
+    maybeStartGc(chip);
+    maybeFlush();
+}
+
+void
+FtlBase::applyMappings(std::uint32_t chip, const nand::WlAddr &wl,
+                       const std::vector<FlushEntry> &batch)
+{
+    auto &mgr = blockMgrs_[chip];
+    for (std::uint32_t i = 0; i < batch.size(); ++i) {
+        const auto &entry = batch[i];
+        if (entry.lba == kInvalidLba)
+            continue;  // padding page stays invalid
+
+        const nand::PageAddr addr{wl.block, wl.layer, wl.wl, i};
+        const Ppa ppa = encodePpa(chip, addr);
+
+        bool current;
+        if (entry.sourcePpa != kInvalidPpa) {
+            // GC relocation: still current iff the mapping has not
+            // moved away from the source since the scan.
+            current = mapping_.lookup(entry.lba) == entry.sourcePpa;
+        } else {
+            // Host flush: current iff no newer version reached flash.
+            current = entry.version > mapping_.mappedVersion(entry.lba);
+        }
+
+        if (current) {
+            const Ppa old =
+                mapping_.map(entry.lba, ppa, entry.version);
+            if (old != kInvalidPpa) {
+                const auto [oldChip, oldAddr] = decodePpa(old);
+                blockMgrs_[oldChip].markInvalid(oldAddr.block,
+                                                pageInBlock(oldAddr));
+            }
+            mgr.markValid(wl.block, pageInBlock(addr), entry.lba);
+        }
+        // else: the relocated/flushed copy is already stale; the page
+        // simply stays invalid and will be reclaimed by GC.
+
+        if (entry.sourcePpa == kInvalidPpa) {
+            auto it = inFlight_.find(entry.lba);
+            if (it != inFlight_.end() &&
+                it->second.second == entry.version) {
+                inFlight_.erase(it);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Garbage collection
+// ---------------------------------------------------------------------
+
+void
+FtlBase::maybeStartGc(std::uint32_t chip)
+{
+    auto &gc = gc_[chip];
+    if (gc.active)
+        return;
+    if (blockMgrs_[chip].freeCount() >= config_.gcLowWatermark)
+        return;
+    const auto victim = blockMgrs_[chip].pickVictim();
+    if (!victim)
+        return;
+    gc = GcState{};
+    gc.active = true;
+    gc.victim = *victim;
+    ++stats_.gcCollections;
+    continueGc(chip);
+}
+
+void
+FtlBase::continueGc(std::uint32_t chip)
+{
+    auto &gc = gc_[chip];
+    if (!gc.active)
+        return;
+    auto &mgr = blockMgrs_[chip];
+    const auto &info = mgr.info(gc.victim);
+
+    // Issue the next scan read (one outstanding at a time, so host
+    // reads can interleave).
+    while (!gc.scanDone && gc.outstandingReads == 0) {
+        while (gc.scanIndex < geom_.pagesPerBlock() &&
+               !info.valid[gc.scanIndex]) {
+            ++gc.scanIndex;
+        }
+        if (gc.scanIndex >= geom_.pagesPerBlock()) {
+            gc.scanDone = true;
+            break;
+        }
+        const std::uint32_t pageIdx = gc.scanIndex++;
+        const nand::PageAddr addr =
+            codec_.decode(static_cast<std::uint64_t>(gc.victim) *
+                              geom_.pagesPerBlock() + pageIdx);
+        ssd::NandOp op;
+        op.kind = ssd::NandOp::Kind::Read;
+        op.page = addr;
+        op.readShiftMv = readShiftFor(chip, addr);
+        op.readSoftHint = readSoftHint(chip, addr);
+        op.done = [this, chip, pageIdx](const ssd::NandOpResult &r) {
+            stats_.readRetries +=
+                static_cast<std::uint64_t>(r.read.numRetries);
+            --gc_[chip].outstandingReads;
+            finishGcScanPage(chip, pageIdx);
+            continueGc(chip);
+        };
+        ++gc.outstandingReads;
+        ++stats_.nandReads;
+        chips_[chip].enqueue(std::move(op));
+    }
+
+    maybeDispatchGcProgram(chip, /*force=*/gc.scanDone &&
+                                     gc.outstandingReads == 0);
+
+    if (gc.scanDone && gc.outstandingReads == 0 && gc.pending.empty() &&
+        gc.outstandingPrograms == 0 && !gc.erasing) {
+        eraseVictim(chip);
+    }
+}
+
+void
+FtlBase::finishGcScanPage(std::uint32_t chip, std::uint32_t pageInBlockIdx)
+{
+    auto &gc = gc_[chip];
+    const auto &info = blockMgrs_[chip].info(gc.victim);
+    if (!info.valid[pageInBlockIdx])
+        return;  // invalidated by a racing host write: nothing to move
+    const Lba lba = info.p2l[pageInBlockIdx];
+    const nand::PageAddr addr =
+        codec_.decode(static_cast<std::uint64_t>(gc.victim) *
+                          geom_.pagesPerBlock() + pageInBlockIdx);
+    FlushEntry entry;
+    entry.lba = lba;
+    entry.token = chips_[chip].chip().pageToken(addr);
+    entry.version = mapping_.mappedVersion(lba);
+    entry.sourcePpa = encodePpa(chip, addr);
+    gc.pending.push_back(entry);
+    ++stats_.gcRelocatedPages;
+}
+
+void
+FtlBase::maybeDispatchGcProgram(std::uint32_t chip, bool force)
+{
+    auto &gc = gc_[chip];
+    while (gc.pending.size() >= geom_.pagesPerWl ||
+           (force && !gc.pending.empty())) {
+        std::vector<FlushEntry> batch;
+        const std::size_t take =
+            std::min<std::size_t>(gc.pending.size(), geom_.pagesPerWl);
+        batch.assign(gc.pending.begin(),
+                     gc.pending.begin() + static_cast<long>(take));
+        gc.pending.erase(gc.pending.begin(),
+                         gc.pending.begin() + static_cast<long>(take));
+        while (batch.size() < geom_.pagesPerWl)
+            batch.push_back(FlushEntry{});
+        dispatchFlush(chip, std::move(batch), /*forGc=*/true);
+    }
+}
+
+void
+FtlBase::eraseVictim(std::uint32_t chip)
+{
+    auto &gc = gc_[chip];
+    gc.erasing = true;
+    ssd::NandOp op;
+    op.kind = ssd::NandOp::Kind::Erase;
+    op.block = gc.victim;
+    op.done = [this, chip](const ssd::NandOpResult &) {
+        auto &gc = gc_[chip];
+        const std::uint32_t victim = gc.victim;
+        ++stats_.erases;
+        blockMgrs_[chip].release(victim);
+        onBlockErased(chip, victim);
+        gc.active = false;
+        gc.erasing = false;
+        // Hysteresis: keep collecting until the high watermark.
+        if (blockMgrs_[chip].freeCount() < config_.gcHighWatermark) {
+            const auto next = blockMgrs_[chip].pickVictim();
+            if (next) {
+                gc = GcState{};
+                gc.active = true;
+                gc.victim = *next;
+                ++stats_.gcCollections;
+                continueGc(chip);
+            }
+        }
+        maybeFlush();
+    };
+    chips_[chip].enqueue(std::move(op));
+}
+
+// ---------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------
+
+std::optional<std::uint64_t>
+FtlBase::peek(Lba lba) const
+{
+    if (lba >= mapping_.logicalPages())
+        return std::nullopt;
+    if (auto hit = buffer_.lookup(lba))
+        return hit;
+    if (auto it = inFlight_.find(lba); it != inFlight_.end())
+        return it->second.first;
+    const Ppa ppa = mapping_.lookup(lba);
+    if (ppa == kInvalidPpa)
+        return std::nullopt;
+    const auto [chip, addr] = decodePpa(ppa);
+    return chips_[chip].chip().pageToken(addr);
+}
+
+void
+FtlBase::checkConsistency() const
+{
+    // Every mapped LBA must point at a valid page that maps back.
+    std::uint64_t mapped = 0;
+    for (Lba lba = 0; lba < mapping_.logicalPages(); ++lba) {
+        const Ppa ppa = mapping_.lookup(lba);
+        if (ppa == kInvalidPpa)
+            continue;
+        ++mapped;
+        const auto [chip, addr] = decodePpa(ppa);
+        const auto &info = blockMgrs_[chip].info(addr.block);
+        const std::uint32_t idx = pageInBlock(addr);
+        if (!info.valid[idx])
+            panic("consistency: LBA %llu maps to invalid page",
+                  static_cast<unsigned long long>(lba));
+        if (info.p2l[idx] != lba)
+            panic("consistency: P2L mismatch for LBA %llu",
+                  static_cast<unsigned long long>(lba));
+    }
+    std::uint64_t valid = 0;
+    for (const auto &mgr : blockMgrs_)
+        valid += mgr.totalValid();
+    if (valid != mapped)
+        panic("consistency: %llu valid pages vs %llu mapped LBAs",
+              static_cast<unsigned long long>(valid),
+              static_cast<unsigned long long>(mapped));
+}
+
+}  // namespace cubessd::ftl

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * FTL engine: the machinery shared by every mapping policy.
+ *
+ * FtlBase implements the full page-level FTL data path —
+ *
+ *  - host writes land in the DRAM write buffer (stalling when full),
+ *  - a background flush drains WL-sized batches to NAND,
+ *  - host reads are served from the buffer, from in-flight flushes,
+ *    or from NAND,
+ *  - greedy garbage collection relocates valid pages and erases
+ *    victims when a chip runs low on free blocks,
+ *
+ * — and delegates the *policy* decisions to virtual hooks:
+ * which WL to program next and with what parameters
+ * (chooseProgramTarget), which read-reference shift to apply
+ * (readShiftFor), and what to learn from completed operations
+ * (onProgramComplete / onReadComplete). The concrete FTLs of the
+ * paper's evaluation (pageFTL, vertFTL, cubeFTL, cubeFTL-) are small
+ * subclasses.
+ */
+
+#ifndef CUBESSD_FTL_FTL_BASE_H
+#define CUBESSD_FTL_FTL_BASE_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/ftl/block_manager.h"
+#include "src/ftl/mapping.h"
+#include "src/sim/event_queue.h"
+#include "src/ssd/chip_unit.h"
+#include "src/ssd/config.h"
+#include "src/ssd/request.h"
+#include "src/ssd/write_buffer.h"
+
+namespace cubessd::ftl {
+
+/** Cumulative FTL-level counters. */
+struct FtlStats
+{
+    std::uint64_t hostReadPages = 0;
+    std::uint64_t hostWritePages = 0;
+    std::uint64_t bufferHits = 0;
+    std::uint64_t unmappedReads = 0;
+    std::uint64_t nandReads = 0;
+    std::uint64_t hostPrograms = 0;     ///< WL programs from host flushes
+    std::uint64_t gcPrograms = 0;       ///< WL programs from GC
+    std::uint64_t leaderPrograms = 0;
+    std::uint64_t followerPrograms = 0;
+    std::uint64_t gcCollections = 0;
+    std::uint64_t gcRelocatedPages = 0;
+    std::uint64_t erases = 0;
+    std::uint64_t safetyReprograms = 0;
+    std::uint64_t readRetries = 0;
+    std::uint64_t uncorrectableReads = 0;
+    std::uint64_t writeStalls = 0;
+    SimTime programLatencySum = 0;      ///< device tPROG over all programs
+
+    double
+    writeAmplification() const
+    {
+        const auto host = hostPrograms;
+        return host == 0
+            ? 1.0
+            : static_cast<double>(hostPrograms + gcPrograms) /
+                  static_cast<double>(host);
+    }
+
+    double
+    avgProgramLatencyUs() const
+    {
+        const auto n = hostPrograms + gcPrograms;
+        return n == 0
+            ? 0.0
+            : static_cast<double>(programLatencySum) / 1000.0 /
+                  static_cast<double>(n);
+    }
+};
+
+/** A WL program decision made by the policy layer. */
+struct ProgramChoice
+{
+    nand::WlAddr wl{};
+    nand::ProgramCommand cmd{};
+    bool isLeader = true;   ///< counts toward leader/follower stats
+    bool monitor = true;    ///< treat the result as fresh leader data
+};
+
+class FtlBase
+{
+  public:
+    using CompletionFn = std::function<void(const ssd::Completion &)>;
+
+    FtlBase(const ssd::SsdConfig &config,
+            std::vector<ssd::ChipUnit> &chips, sim::EventQueue &queue);
+    virtual ~FtlBase() = default;
+
+    FtlBase(const FtlBase &) = delete;
+    FtlBase &operator=(const FtlBase &) = delete;
+
+    /** Submit a host read; `done` fires when all pages are returned. */
+    void hostRead(const ssd::HostRequest &req, CompletionFn done);
+
+    /** Submit a host write; `done` fires when all pages are buffered. */
+    void hostWrite(const ssd::HostRequest &req, CompletionFn done);
+
+    /**
+     * Force every buffered page to NAND (end-of-run / power-down).
+     * Asynchronous: run the event queue afterwards to complete it.
+     */
+    void flushAll();
+
+    /** Current data of a logical page, bypassing timing (for tests). */
+    std::optional<std::uint64_t> peek(Lba lba) const;
+
+    const FtlStats &stats() const { return stats_; }
+    const ssd::WriteBuffer &buffer() const { return buffer_; }
+    const MappingTable &mapping() const { return mapping_; }
+    const BlockManager &blockManager(std::uint32_t chip) const;
+    std::uint64_t logicalPages() const { return mapping_.logicalPages(); }
+
+    /**
+     * Verify cross-structure invariants (mapping vs valid counts vs
+     * chip state); panics on violation. Test/debug aid.
+     */
+    void checkConsistency() const;
+
+  protected:
+    /**
+     * Pick the WL and program parameters for the next flush on `chip`.
+     * @param forGc  true when the program relocates GC data
+     * @param mu     current write-buffer utilization (WAM input)
+     */
+    virtual ProgramChoice chooseProgramTarget(std::uint32_t chip,
+                                              bool forGc, double mu) = 0;
+
+    /** Read-reference shift for a page read (0 = chip default). */
+    virtual MilliVolt
+    readShiftFor(std::uint32_t chip, const nand::PageAddr &addr)
+    {
+        (void)chip;
+        (void)addr;
+        return 0;
+    }
+
+    /** Should this read start with the soft LDPC decode? (Paper
+     *  Sec. 8: leader-informed ECC-mode selection.) */
+    virtual bool
+    readSoftHint(std::uint32_t chip, const nand::PageAddr &addr)
+    {
+        (void)chip;
+        (void)addr;
+        return false;
+    }
+
+    /** Learn from a completed WL program. */
+    virtual void
+    onProgramComplete(std::uint32_t chip, const ProgramChoice &choice,
+                      const nand::WlProgramResult &result)
+    {
+        (void)chip;
+        (void)choice;
+        (void)result;
+    }
+
+    /** Learn from a completed page read. */
+    virtual void
+    onReadComplete(std::uint32_t chip, const nand::PageAddr &addr,
+                   const nand::ReadOutcome &outcome)
+    {
+        (void)chip;
+        (void)addr;
+        (void)outcome;
+    }
+
+    /** A block finished erasing (forget cached per-block state). */
+    virtual void
+    onBlockErased(std::uint32_t chip, std::uint32_t block)
+    {
+        (void)chip;
+        (void)block;
+    }
+
+    /**
+     * Safety check of Sec. 4.1.4: return true if this (follower)
+     * program deviated enough that the data must be re-programmed.
+     */
+    virtual bool
+    safetyCheck(std::uint32_t chip, const ProgramChoice &choice,
+                const nand::WlProgramResult &result)
+    {
+        (void)chip;
+        (void)choice;
+        (void)result;
+        return false;
+    }
+
+    /** Allocate a fresh active block on a chip (for subclasses). */
+    std::uint32_t allocateBlock(std::uint32_t chip);
+
+    /** Behavioural chip model of one chip (for subclass policies). */
+    const nand::NandChip &
+    chipModel(std::uint32_t chip) const
+    {
+        return chips_.at(chip).chip();
+    }
+
+    const ssd::SsdConfig &config() const { return config_; }
+    std::uint32_t chipCount() const
+    {
+        return static_cast<std::uint32_t>(chips_.size());
+    }
+    const nand::NandGeometry &geometry() const { return geom_; }
+    sim::EventQueue &queue() { return queue_; }
+
+  private:
+    /** One page travelling from buffer to NAND. */
+    struct FlushEntry
+    {
+        Lba lba = kInvalidLba;          ///< kInvalidLba = padding
+        std::uint64_t token = 0;
+        std::uint64_t version = 0;
+        Ppa sourcePpa = kInvalidPpa;    ///< set for GC relocations
+    };
+
+    /** Host write stalled on a full buffer. */
+    struct StalledWrite
+    {
+        ssd::HostRequest req;
+        CompletionFn done;
+        std::uint32_t nextPage = 0;
+    };
+
+    /** Per-chip GC progress. */
+    struct GcState
+    {
+        bool active = false;
+        std::uint32_t victim = 0;
+        std::uint32_t scanIndex = 0;     ///< next page slot to scan
+        std::uint32_t outstandingReads = 0;
+        std::uint32_t outstandingPrograms = 0;
+        bool scanDone = false;
+        bool erasing = false;
+        std::vector<FlushEntry> pending; ///< relocated pages to program
+    };
+
+    void processWrite(const std::shared_ptr<StalledWrite> &write);
+    void completeWrite(const ssd::HostRequest &req,
+                       const CompletionFn &done);
+
+    void maybeFlush();
+    void dispatchFlush(std::uint32_t chip, std::vector<FlushEntry> batch,
+                       bool forGc);
+    void handleProgramComplete(std::uint32_t chip, ProgramChoice choice,
+                               std::vector<FlushEntry> batch, bool forGc,
+                               const ssd::NandOpResult &result);
+    void applyMappings(std::uint32_t chip, const nand::WlAddr &wl,
+                       const std::vector<FlushEntry> &batch);
+    void retryStalledWrites();
+
+    void maybeStartGc(std::uint32_t chip);
+    void continueGc(std::uint32_t chip);
+    void finishGcScanPage(std::uint32_t chip, std::uint32_t pageInBlock);
+    void maybeDispatchGcProgram(std::uint32_t chip, bool force);
+    void eraseVictim(std::uint32_t chip);
+
+    std::uint64_t nextVersion() { return ++versionCounter_; }
+    static std::uint64_t tokenFor(Lba lba, std::uint64_t version);
+
+    Ppa encodePpa(std::uint32_t chip, const nand::PageAddr &addr) const;
+    std::pair<std::uint32_t, nand::PageAddr> decodePpa(Ppa ppa) const;
+    std::uint32_t pageInBlock(const nand::PageAddr &addr) const;
+
+    ssd::SsdConfig config_;
+    std::vector<ssd::ChipUnit> &chips_;
+    sim::EventQueue &queue_;
+    nand::NandGeometry geom_;
+    nand::AddressCodec codec_;
+
+    MappingTable mapping_;
+    std::vector<BlockManager> blockMgrs_;
+    ssd::WriteBuffer buffer_;
+    std::vector<std::uint64_t> latestIssued_;  ///< per-LBA write version
+    std::unordered_map<Lba, std::pair<std::uint64_t, std::uint64_t>>
+        inFlight_;                             ///< lba -> (token, version)
+    std::deque<std::shared_ptr<StalledWrite>> stalled_;
+    std::vector<bool> outstandingFlush_;       ///< per chip
+    std::vector<GcState> gc_;
+    std::uint32_t flushCursor_ = 0;
+    std::uint64_t versionCounter_ = 0;
+    bool drainMode_ = false;
+
+    FtlStats stats_;
+};
+
+}  // namespace cubessd::ftl
+
+#endif  // CUBESSD_FTL_FTL_BASE_H

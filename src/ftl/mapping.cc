@@ -1,0 +1,44 @@
+#include "src/ftl/mapping.h"
+
+#include "src/common/logging.h"
+
+namespace cubessd::ftl {
+
+MappingTable::MappingTable(std::uint64_t logicalPages)
+    : l2p_(logicalPages, kInvalidPpa), version_(logicalPages, 0)
+{
+    if (logicalPages == 0)
+        fatal("MappingTable: zero logical pages");
+}
+
+Ppa
+MappingTable::lookup(Lba lba) const
+{
+    if (lba >= l2p_.size())
+        panic("MappingTable::lookup: LBA %llu out of range",
+              static_cast<unsigned long long>(lba));
+    return l2p_[lba];
+}
+
+std::uint64_t
+MappingTable::mappedVersion(Lba lba) const
+{
+    if (lba >= version_.size())
+        panic("MappingTable::mappedVersion: LBA out of range");
+    return version_[lba];
+}
+
+Ppa
+MappingTable::map(Lba lba, Ppa ppa, std::uint64_t version)
+{
+    if (lba >= l2p_.size())
+        panic("MappingTable::map: LBA out of range");
+    const Ppa old = l2p_[lba];
+    if (old == kInvalidPpa && ppa != kInvalidPpa)
+        ++mapped_;
+    l2p_[lba] = ppa;
+    version_[lba] = version;
+    return old;
+}
+
+}  // namespace cubessd::ftl

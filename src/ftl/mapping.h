@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Page-level logical-to-physical mapping table.
+ *
+ * Alongside each mapping the table stores the *write version* of the
+ * data it points to, so that late-completing programs (flush or GC
+ * relocation racing with fresh host writes to the same page) can
+ * detect that they are stale and must not clobber a newer mapping.
+ */
+
+#ifndef CUBESSD_FTL_MAPPING_H
+#define CUBESSD_FTL_MAPPING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace cubessd::ftl {
+
+class MappingTable
+{
+  public:
+    explicit MappingTable(std::uint64_t logicalPages);
+
+    std::uint64_t logicalPages() const { return l2p_.size(); }
+
+    /** @return mapped PPA or kInvalidPpa. */
+    Ppa lookup(Lba lba) const;
+
+    /** Version of the data currently mapped (0 if never written). */
+    std::uint64_t mappedVersion(Lba lba) const;
+
+    /**
+     * Point `lba` at `ppa` with `version`.
+     * @return the previously mapped PPA (kInvalidPpa if none), which
+     *         the caller must invalidate.
+     */
+    Ppa map(Lba lba, Ppa ppa, std::uint64_t version);
+
+    /** Number of currently mapped logical pages. */
+    std::uint64_t mappedCount() const { return mapped_; }
+
+  private:
+    std::vector<Ppa> l2p_;
+    std::vector<std::uint64_t> version_;
+    std::uint64_t mapped_ = 0;
+};
+
+}  // namespace cubessd::ftl
+
+#endif  // CUBESSD_FTL_MAPPING_H

@@ -1,0 +1,82 @@
+#include "src/ftl/opm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace cubessd::ftl {
+
+Opm::Opm(const OpmConfig &config, const nand::ErrorModel &errors,
+         const ecc::EccModel &ecc, MilliVolt deltaVMv)
+    : config_(config), errors_(errors), deltaVMv_(deltaVMv)
+{
+    if (deltaVMv_ <= 0)
+        fatal("Opm: dV_ISPP must be positive");
+    eccLimitNorm_ = ecc.limitBer() / errors_.params().baseBer;
+    if (eccLimitNorm_ <= 0.0)
+        fatal("Opm: ECC limit below the model's base BER");
+}
+
+LeaderParams
+Opm::derive(const nand::WlProgramResult &leader,
+            const nand::AgingState &aging) const
+{
+    LeaderParams params;
+    params.valid = true;
+    params.leaderBerEp1Norm = leader.berEp1Norm;
+
+    // Estimate the WL's total BER from the monitored BER_EP1, project
+    // it to the end of the data's retention life, and compute how
+    // much it may be multiplied before hitting the ECC limit — the
+    // spare margin S_M of Sec. 4.1.2, here expressed as an allowed
+    // BER multiplier.
+    const double measuredNorm =
+        std::max(errors_.totalNormFromEp1(leader.berEp1Norm), 1e-9);
+    const double projectedNorm = std::max(
+        errors_.projectedRetentionNorm(measuredNorm, aging), 1e-9);
+    const double allowed =
+        config_.marginGuard * eccLimitNorm_ / projectedNorm;
+    double shrink = errors_.safeWindowShrinkMv(allowed);
+    shrink = std::min(shrink, static_cast<double>(config_.maxShrinkMv));
+
+    const auto g = static_cast<double>(config_.granularityMv);
+    const auto total =
+        static_cast<MilliVolt>(std::floor(shrink / g) * g);
+    params.vStartAdjMv = static_cast<MilliVolt>(
+        std::floor(config_.vStartShare * static_cast<double>(total) / g) *
+        g);
+    params.vFinalAdjMv = total - params.vStartAdjMv;
+    params.expectedMultiplier =
+        errors_.windowShrinkMultiplier(static_cast<double>(total));
+
+    // VFY skip plan (Sec. 4.1.1): skip the verifies before the
+    // leader's observed L_min for each state, shifted down by the
+    // V_Start raise (the whole ISPP ladder moves earlier with it).
+    const int shiftLoops =
+        (params.vStartAdjMv + deltaVMv_ - 1) / deltaVMv_;
+    params.skipPlanUnshifted =
+        nand::IsppEngine::safeSkipPlan(leader.loops);
+    params.skipPlan = params.skipPlanUnshifted;
+    for (auto &skip : params.skipPlan)
+        skip = std::max(0, skip - shiftLoops);
+    return params;
+}
+
+bool
+Opm::needsReprogram(const LeaderParams &params,
+                    const nand::WlProgramResult &follower) const
+{
+    // Over-programming beyond what the adjustment should cost, or a
+    // BER_EP1 far above the h-layer's previously programmed WL (the
+    // paper's check: the monitored parameters no longer describe the
+    // current operating condition).
+    if (follower.berMultiplier >
+        params.expectedMultiplier * config_.safetyBerFactor) {
+        return true;
+    }
+    return follower.berEp1Norm >
+           params.leaderBerEp1Norm * config_.safetyBerFactor;
+}
+
+}  // namespace cubessd::ftl

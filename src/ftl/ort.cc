@@ -1,0 +1,61 @@
+#include "src/ftl/ort.h"
+
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace cubessd::ftl {
+
+Ort::Ort(std::uint32_t chips, std::uint32_t blocksPerChip,
+         std::uint32_t layersPerBlock)
+    : blocksPerChip_(blocksPerChip), layersPerBlock_(layersPerBlock)
+{
+    table_.assign(static_cast<std::size_t>(chips) * blocksPerChip *
+                      layersPerBlock,
+                  0);
+}
+
+std::size_t
+Ort::index(std::uint32_t chip, std::uint32_t block,
+           std::uint32_t layer) const
+{
+    const std::size_t idx =
+        (static_cast<std::size_t>(chip) * blocksPerChip_ + block) *
+            layersPerBlock_ + layer;
+    if (idx >= table_.size())
+        panic("Ort: index out of range (chip %u block %u layer %u)",
+              chip, block, layer);
+    return idx;
+}
+
+MilliVolt
+Ort::lookup(std::uint32_t chip, std::uint32_t block,
+            std::uint32_t layer) const
+{
+    const auto v = table_[index(chip, block, layer)];
+    if (v != 0)
+        ++hits_;
+    return v;
+}
+
+void
+Ort::update(std::uint32_t chip, std::uint32_t block, std::uint32_t layer,
+            MilliVolt shiftMv)
+{
+    const auto clamped = std::max<MilliVolt>(
+        std::numeric_limits<std::int16_t>::min(),
+        std::min<MilliVolt>(std::numeric_limits<std::int16_t>::max(),
+                            shiftMv));
+    table_[index(chip, block, layer)] =
+        static_cast<std::int16_t>(clamped);
+    ++updates_;
+}
+
+void
+Ort::resetBlock(std::uint32_t chip, std::uint32_t block)
+{
+    for (std::uint32_t l = 0; l < layersPerBlock_; ++l)
+        table_[index(chip, block, l)] = 0;
+}
+
+}  // namespace cubessd::ftl

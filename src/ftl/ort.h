@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Optimal read-reference-voltage table (ORT, paper Sec. 5.1).
+ *
+ * One compact entry per physical h-layer in the SSD holds the most
+ * recent read-reference shift that decoded cleanly on that h-layer.
+ * Thanks to horizontal similarity, a read to *any* WL of the h-layer
+ * can start from this shift instead of the chip default, eliminating
+ * most retries (Sec. 4.2 / Fig. 14).
+ *
+ * Storage is 2 bytes per h-layer — the paper's space-overhead claim
+ * (~0.001% of capacity; 10 MB for a 1 TB SSD) — exposed via bytes().
+ */
+
+#ifndef CUBESSD_FTL_ORT_H
+#define CUBESSD_FTL_ORT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace cubessd::ftl {
+
+class Ort
+{
+  public:
+    Ort(std::uint32_t chips, std::uint32_t blocksPerChip,
+        std::uint32_t layersPerBlock);
+
+    /** Most recent good shift for the h-layer; 0 = chip default. */
+    MilliVolt lookup(std::uint32_t chip, std::uint32_t block,
+                     std::uint32_t layer) const;
+
+    /** Record the shift that finally decoded on this h-layer. */
+    void update(std::uint32_t chip, std::uint32_t block,
+                std::uint32_t layer, MilliVolt shiftMv);
+
+    /** Forget one block's entries (after erase). */
+    void resetBlock(std::uint32_t chip, std::uint32_t block);
+
+    /** Memory footprint of the table (the paper's overhead story). */
+    std::size_t bytes() const { return table_.size() * sizeof(table_[0]); }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t updates() const { return updates_; }
+
+  private:
+    std::size_t index(std::uint32_t chip, std::uint32_t block,
+                      std::uint32_t layer) const;
+
+    std::uint32_t blocksPerChip_;
+    std::uint32_t layersPerBlock_;
+    std::vector<std::int16_t> table_;
+    mutable std::uint64_t hits_ = 0;
+    std::uint64_t updates_ = 0;
+};
+
+}  // namespace cubessd::ftl
+
+#endif  // CUBESSD_FTL_ORT_H

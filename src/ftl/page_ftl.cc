@@ -1,0 +1,41 @@
+#include "src/ftl/page_ftl.h"
+
+namespace cubessd::ftl {
+
+PageFtl::PageFtl(const ssd::SsdConfig &config,
+                 std::vector<ssd::ChipUnit> &chips,
+                 sim::EventQueue &queue)
+    : FtlBase(config, chips, queue),
+      pattern_(programSequence(ProgramOrderKind::HorizontalFirst,
+                               geometry(), 0)),
+      hostWp_(chipCount()),
+      gcWp_(chipCount())
+{
+}
+
+nand::WlAddr
+PageFtl::nextWl(std::uint32_t chip, WritePoint &wp)
+{
+    if (!wp.open || wp.seqIndex >= pattern_.size()) {
+        wp.block = allocateBlock(chip);
+        wp.seqIndex = 0;
+        wp.open = true;
+    }
+    nand::WlAddr wl = pattern_[wp.seqIndex++];
+    wl.block = wp.block;
+    return wl;
+}
+
+ProgramChoice
+PageFtl::chooseProgramTarget(std::uint32_t chip, bool forGc, double mu)
+{
+    (void)mu;
+    ProgramChoice choice;
+    choice.wl = nextWl(chip, forGc ? gcWp_[chip] : hostWp_[chip]);
+    choice.cmd = commandFor(chip, choice.wl);
+    choice.isLeader = isLeaderWl(choice.wl);
+    choice.monitor = true;  // PS-unaware: nothing is derived or reused
+    return choice;
+}
+
+}  // namespace cubessd::ftl

@@ -1,0 +1,68 @@
+#include "src/ftl/program_order.h"
+
+#include "src/common/logging.h"
+
+namespace cubessd::ftl {
+
+const char *
+programOrderName(ProgramOrderKind kind)
+{
+    switch (kind) {
+      case ProgramOrderKind::HorizontalFirst: return "horizontal-first";
+      case ProgramOrderKind::VerticalFirst:   return "vertical-first";
+      case ProgramOrderKind::Mixed:           return "mixed (MOS)";
+    }
+    return "?";
+}
+
+std::vector<nand::WlAddr>
+programSequence(ProgramOrderKind kind, const nand::NandGeometry &geom,
+                std::uint32_t block)
+{
+    std::vector<nand::WlAddr> seq;
+    seq.reserve(geom.wlsPerBlock());
+
+    switch (kind) {
+      case ProgramOrderKind::HorizontalFirst:
+        for (std::uint32_t l = 0; l < geom.layersPerBlock; ++l)
+            for (std::uint32_t w = 0; w < geom.wlsPerLayer; ++w)
+                seq.push_back(nand::WlAddr{block, l, w});
+        break;
+
+      case ProgramOrderKind::VerticalFirst:
+        for (std::uint32_t w = 0; w < geom.wlsPerLayer; ++w)
+            for (std::uint32_t l = 0; l < geom.layersPerBlock; ++l)
+                seq.push_back(nand::WlAddr{block, l, w});
+        break;
+
+      case ProgramOrderKind::Mixed: {
+        // Canonical MOS interleaving: leaders run two h-layers ahead
+        // of their followers, so a pool of already-monitored follower
+        // WLs is always open (the WAM exploits this dynamically; this
+        // static sequence is the shape used when no WAM steers it).
+        constexpr std::uint32_t kLeadAhead = 2;
+        for (std::uint32_t l = 0; l < geom.layersPerBlock; ++l) {
+            seq.push_back(nand::WlAddr{block, l, 0});
+            if (l >= kLeadAhead) {
+                const std::uint32_t fl = l - kLeadAhead;
+                for (std::uint32_t w = 1; w < geom.wlsPerLayer; ++w)
+                    seq.push_back(nand::WlAddr{block, fl, w});
+            }
+        }
+        for (std::uint32_t fl = geom.layersPerBlock -
+                                std::min(kLeadAhead, geom.layersPerBlock);
+             fl < geom.layersPerBlock; ++fl) {
+            for (std::uint32_t w = 1; w < geom.wlsPerLayer; ++w)
+                seq.push_back(nand::WlAddr{block, fl, w});
+        }
+        break;
+      }
+    }
+
+    if (seq.size() != geom.wlsPerBlock())
+        panic("programSequence: generated %zu of %u WLs", seq.size(),
+              geom.wlsPerBlock());
+    return seq;
+}
+
+}  // namespace cubessd::ftl

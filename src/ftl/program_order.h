@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Program orders for a 3D NAND block (paper Sec. 4.1.3, Fig. 12).
+ *
+ * A *leader* WL is the first WL programmed on its h-layer (the one
+ * whose ISPP loop counts and BER_EP1 the OPM monitors); the other WLs
+ * of the h-layer are *followers* and can be programmed with reduced
+ * latency. The order determines how many followers are available at
+ * any time:
+ *
+ *  - Horizontal-first: layer by layer (w11 w12 w13 w14, w21 ...);
+ *    every 4th write is a slow leader.
+ *  - Vertical-first: v-layer by v-layer (w11 w21 ... wL1, w12 ...);
+ *    all leaders first, then only followers.
+ *  - Mixed (MOS): leaders and followers interleave freely under the
+ *    WAM's control; this header provides the canonical static MOS
+ *    sequence (leaders of layers 0..k stay ahead of their followers).
+ *
+ * 3D NAND allows all three because SL transistors isolate WLs of the
+ * same h-layer (no program interference between v-layers).
+ */
+
+#ifndef CUBESSD_FTL_PROGRAM_ORDER_H
+#define CUBESSD_FTL_PROGRAM_ORDER_H
+
+#include <vector>
+
+#include "src/nand/geometry.h"
+
+namespace cubessd::ftl {
+
+enum class ProgramOrderKind
+{
+    HorizontalFirst,
+    VerticalFirst,
+    Mixed,
+};
+
+const char *programOrderName(ProgramOrderKind kind);
+
+/** @return true if this WL is the leader of its h-layer (v-layer 0). */
+inline bool
+isLeaderWl(const nand::WlAddr &addr)
+{
+    return addr.wl == 0;
+}
+
+/**
+ * The full WL program sequence of one block under a static order.
+ * For Mixed this is the canonical interleaving (leader of layer i,
+ * then followers of layer i-1's neighborhood) used when no dynamic
+ * WAM steering is present.
+ */
+std::vector<nand::WlAddr>
+programSequence(ProgramOrderKind kind, const nand::NandGeometry &geom,
+                std::uint32_t block);
+
+}  // namespace cubessd::ftl
+
+#endif  // CUBESSD_FTL_PROGRAM_ORDER_H

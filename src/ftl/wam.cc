@@ -1,0 +1,66 @@
+#include "src/ftl/wam.h"
+
+namespace cubessd::ftl {
+
+namespace {
+
+/** After consuming a follower, roll to the next h-layer when the
+ *  current one is exhausted, so the invariants stay normalized. */
+void
+normalize(MixedWritePoint &wp, const nand::NandGeometry &geom)
+{
+    while (wp.iFollower < geom.layersPerBlock &&
+           wp.followerUsed >= geom.wlsPerLayer - 1) {
+        ++wp.iFollower;
+        wp.followerUsed = 0;
+    }
+}
+
+}  // namespace
+
+std::optional<WlChoice>
+Wam::takeFollower(MixedWritePoint &wp,
+                  const nand::NandGeometry &geom) const
+{
+    normalize(wp, geom);
+    if (!wp.hasFollower(geom))
+        return std::nullopt;
+    WlChoice choice;
+    choice.isLeader = false;
+    choice.wl = nand::WlAddr{wp.block, wp.iFollower, wp.followerUsed + 1};
+    ++wp.followerUsed;
+    normalize(wp, geom);
+    return choice;
+}
+
+std::optional<WlChoice>
+Wam::takeLeader(MixedWritePoint &wp, const nand::NandGeometry &geom) const
+{
+    if (!wp.hasLeader(geom))
+        return std::nullopt;
+    WlChoice choice;
+    choice.isLeader = true;
+    choice.wl = nand::WlAddr{wp.block, wp.iLeader, 0};
+    ++wp.iLeader;
+    return choice;
+}
+
+std::optional<WlChoice>
+Wam::choose(MixedWritePoint &wp, const nand::NandGeometry &geom,
+            double mu) const
+{
+    normalize(wp, geom);
+    if (mu > muThreshold_) {
+        // High write-bandwidth demand: spend fast follower WLs first.
+        if (auto c = takeFollower(wp, geom))
+            return c;
+        return takeLeader(wp, geom);
+    }
+    // Normal demand: program a slow leader, replenishing the follower
+    // pool; fall back to followers once leaders run out.
+    if (auto c = takeLeader(wp, geom))
+        return c;
+    return takeFollower(wp, geom);
+}
+
+}  // namespace cubessd::ftl

@@ -1,0 +1,97 @@
+#include "src/metrics/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "src/common/logging.h"
+
+namespace cubessd::metrics {
+
+Table::Table(std::vector<std::string> header)
+{
+    rows_.push_back(std::move(header));
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    if (cells.size() != rows_.front().size())
+        fatal("Table: row has %zu cells, header has %zu", cells.size(),
+              rows_.front().size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &out) const
+{
+    std::vector<std::size_t> width(rows_.front().size(), 0);
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        out << "  ";
+        for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+            out << rows_[r][c];
+            if (c + 1 < rows_[r].size()) {
+                out << std::string(width[c] - rows_[r][c].size() + 2,
+                                   ' ');
+            }
+        }
+        out << '\n';
+        if (r == 0) {
+            std::size_t total = 2;
+            for (std::size_t c = 0; c < width.size(); ++c)
+                total += width[c] + (c + 1 < width.size() ? 2 : 0);
+            out << "  " << std::string(total - 2, '-') << '\n';
+        }
+    }
+}
+
+std::string
+format(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+    return buf;
+}
+
+void
+printCdf(std::ostream &out, const std::string &title,
+         const std::vector<std::pair<double, double>> &cdf)
+{
+    out << title << '\n';
+    for (const auto &[x, f] : cdf)
+        out << "  " << format(x, 1) << "  " << format(f, 4) << '\n';
+}
+
+PaperComparison::PaperComparison(std::string experiment)
+    : experiment_(std::move(experiment)),
+      table_({"metric", "paper", "measured", "note"})
+{
+}
+
+void
+PaperComparison::add(const std::string &metric, const std::string &paper,
+                     const std::string &measured, const std::string &note)
+{
+    table_.row({metric, paper, measured, note});
+}
+
+void
+PaperComparison::print(std::ostream &out) const
+{
+    out << "\n=== paper vs measured: " << experiment_ << " ===\n";
+    table_.print(out);
+}
+
+}  // namespace cubessd::metrics

@@ -1,0 +1,187 @@
+#include "src/nand/chip.h"
+
+#include "src/common/logging.h"
+
+namespace cubessd::nand {
+
+NandChip::NandChip(const NandChipConfig &config)
+    : config_(config),
+      codec_(config.geometry),
+      process_(config.geometry, config.process, config.seed),
+      errors_(config.errors),
+      vth_(config.vth, config.seed),
+      ispp_(config.ispp, errors_),
+      ecc_(config.ecc),
+      read_(config.read, vth_, errors_, ecc_),
+      rng_(config.seed ^ 0xC0FFEE123456789ull)
+{
+    blocks_.resize(config_.geometry.blocksPerChip);
+    for (auto &block : blocks_) {
+        block.wls.resize(config_.geometry.wlsPerBlock());
+        block.tokens.assign(config_.geometry.pagesPerBlock(), 0);
+    }
+}
+
+AgingState
+NandChip::blockAging(std::uint32_t block) const
+{
+    AgingState aging = baseAging_;
+    aging.peCycles += blocks_.at(block).eraseCount;
+    return aging;
+}
+
+std::size_t
+NandChip::wlIndex(const WlAddr &addr) const
+{
+    return static_cast<std::size_t>(addr.layer) *
+               config_.geometry.wlsPerLayer + addr.wl;
+}
+
+std::size_t
+NandChip::pageIndexInBlock(const PageAddr &addr) const
+{
+    return wlIndex(addr.wlAddr()) * config_.geometry.pagesPerWl +
+           addr.page;
+}
+
+SimTime
+NandChip::eraseBlock(std::uint32_t block)
+{
+    if (block >= blocks_.size())
+        panic("eraseBlock: block %u out of range", block);
+    auto &state = blocks_[block];
+    ++state.eraseCount;
+    for (auto &wl : state.wls)
+        wl = WlState{};
+    for (auto &token : state.tokens)
+        token = 0;
+    ++stats_.erases;
+    stats_.totalEraseTime += config_.timing.tErase;
+    return config_.timing.tErase;
+}
+
+WlProgramResult
+NandChip::programWl(const WlAddr &addr, const ProgramCommand &cmd,
+                    std::span<const std::uint64_t> tokens)
+{
+    if (!codec_.contains(addr))
+        panic("programWl: WL address out of range");
+    if (tokens.size() != config_.geometry.pagesPerWl)
+        panic("programWl: expected %u page tokens, got %zu",
+              config_.geometry.pagesPerWl, tokens.size());
+
+    auto &block = blocks_[addr.block];
+    auto &wl = block.wls[wlIndex(addr)];
+    if (wl.programmedPages != 0)
+        panic("programWl: WL (b%u l%u w%u) programmed without erase",
+              addr.block, addr.layer, addr.wl);
+
+    const double q = process_.wlQuality(addr);
+    const double speed = process_.programSpeedMv(addr);
+    const AgingState aging = blockAging(addr.block);
+
+    WlProgramResult result = ispp_.program(
+        q, speed, aging, process_.chipFactor(), cmd, rng_);
+
+    if (cmd.nonDefault()) {
+        result.tProg += config_.timing.tFeatureSet;
+        ++stats_.featureSets;
+    }
+
+    wl.programmedPages =
+        static_cast<std::uint8_t>((1u << config_.geometry.pagesPerWl) - 1);
+    wl.berMultiplier = static_cast<float>(result.berMultiplier);
+    const std::size_t base =
+        wlIndex(addr) * config_.geometry.pagesPerWl;
+    for (std::uint32_t p = 0; p < config_.geometry.pagesPerWl; ++p)
+        block.tokens[base + p] = tokens[p];
+
+    ++stats_.wlPrograms;
+    stats_.verifiesDone += static_cast<std::uint64_t>(result.verifiesDone);
+    stats_.verifiesSkipped +=
+        static_cast<std::uint64_t>(result.verifiesSkipped);
+    stats_.totalProgramTime += result.tProg;
+    return result;
+}
+
+ReadOutcome
+NandChip::readPage(const PageAddr &addr, MilliVolt appliedShiftMv,
+                   bool softHint)
+{
+    if (!codec_.contains(addr))
+        panic("readPage: page address out of range");
+    const auto &block = blocks_[addr.block];
+    const auto &wl = block.wls[wlIndex(addr.wlAddr())];
+    if (!(wl.programmedPages & (1u << addr.page)))
+        panic("readPage: page (b%u l%u w%u p%u) not programmed",
+              addr.block, addr.layer, addr.wl, addr.page);
+
+    const double q = process_.wlQuality(addr.wlAddr());
+    const AgingState aging = blockAging(addr.block);
+
+    ReadOutcome out = read_.read(addr.block, q, aging,
+                                 process_.chipFactor(),
+                                 static_cast<double>(wl.berMultiplier),
+                                 appliedShiftMv, rng_, softHint);
+    if (appliedShiftMv != 0) {
+        out.tRead += config_.timing.tFeatureSet;
+        ++stats_.featureSets;
+    }
+
+    ++stats_.pageReads;
+    stats_.readRetries += static_cast<std::uint64_t>(out.numRetries);
+    if (out.uncorrectable)
+        ++stats_.uncorrectableReads;
+    stats_.totalReadTime += out.tRead;
+    return out;
+}
+
+double
+NandChip::measureBerNorm(const PageAddr &addr)
+{
+    if (!codec_.contains(addr))
+        panic("measureBerNorm: page address out of range");
+    const auto &wl = blocks_[addr.block].wls[wlIndex(addr.wlAddr())];
+    if (!(wl.programmedPages & (1u << addr.page)))
+        panic("measureBerNorm: page not programmed");
+    const double q = process_.wlQuality(addr.wlAddr());
+    const double aligned =
+        errors_.normalizedBer(q, blockAging(addr.block),
+                              process_.chipFactor()) *
+        static_cast<double>(wl.berMultiplier);
+    // RTN-scale measurement noise (paper: <3% across a sequence).
+    return aligned * (1.0 + 0.005 * rng_.normal());
+}
+
+std::uint64_t
+NandChip::pageToken(const PageAddr &addr) const
+{
+    if (!codec_.contains(addr))
+        panic("pageToken: page address out of range");
+    return blocks_[addr.block].tokens[pageIndexInBlock(addr)];
+}
+
+bool
+NandChip::isPageProgrammed(const PageAddr &addr) const
+{
+    if (!codec_.contains(addr))
+        return false;
+    const auto &wl = blocks_[addr.block].wls[wlIndex(addr.wlAddr())];
+    return wl.programmedPages & (1u << addr.page);
+}
+
+bool
+NandChip::isWlProgrammed(const WlAddr &addr) const
+{
+    if (!codec_.contains(addr))
+        return false;
+    return blocks_[addr.block].wls[wlIndex(addr)].programmedPages != 0;
+}
+
+PeCycles
+NandChip::eraseCount(std::uint32_t block) const
+{
+    return blocks_.at(block).eraseCount;
+}
+
+}  // namespace cubessd::nand

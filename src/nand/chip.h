@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Behavioural model of one 3D TLC NAND chip.
+ *
+ * NandChip owns the per-chip process instance and all per-block state
+ * (erase counts, programmed pages, program-time BER penalties) and
+ * exposes the three NAND operations at command level:
+ *
+ *  - eraseBlock()  : erase, wear accounting
+ *  - programWl()   : one-shot TLC program of a word line (3 pages)
+ *                    through the ISPP engine, honoring PS-aware knobs
+ *  - readPage()    : sense + read-retry loop + ECC verdict
+ *
+ * plus an ONFI-like feature interface cost model (a non-default
+ * ProgramCommand or read shift implies one Set-Feature, < 1 us).
+ *
+ * The chip stores a 64-bit *data token* per page instead of real data:
+ * enough to verify end-to-end data integrity in tests while keeping a
+ * 32 GB simulated SSD in a few MB of host memory.
+ */
+
+#ifndef CUBESSD_NAND_CHIP_H
+#define CUBESSD_NAND_CHIP_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/ecc/ecc.h"
+#include "src/nand/error_model.h"
+#include "src/nand/geometry.h"
+#include "src/nand/ispp.h"
+#include "src/nand/process_model.h"
+#include "src/nand/read_model.h"
+#include "src/nand/timing.h"
+#include "src/nand/vth_model.h"
+
+namespace cubessd::nand {
+
+/** Full configuration of one chip (all sub-model parameters). */
+struct NandChipConfig
+{
+    NandGeometry geometry{};
+    ProcessParams process{};
+    ErrorParams errors{};
+    VthParams vth{};
+    IsppConfig ispp{};
+    ReadParams read{};
+    NandTiming timing{};
+    ecc::EccConfig ecc{};
+    /** Chip identity: chips with different seeds are different dies. */
+    std::uint64_t seed = 1;
+};
+
+/** Cumulative operation counters of a chip. */
+struct NandChipStats
+{
+    std::uint64_t erases = 0;
+    std::uint64_t wlPrograms = 0;
+    std::uint64_t pageReads = 0;
+    std::uint64_t readRetries = 0;
+    std::uint64_t uncorrectableReads = 0;
+    std::uint64_t verifiesDone = 0;
+    std::uint64_t verifiesSkipped = 0;
+    std::uint64_t featureSets = 0;
+    SimTime totalProgramTime = 0;
+    SimTime totalReadTime = 0;
+    SimTime totalEraseTime = 0;
+};
+
+class NandChip
+{
+  public:
+    explicit NandChip(const NandChipConfig &config);
+
+    /** @name Sub-model access (read-only) @{ */
+    const NandGeometry &geometry() const { return config_.geometry; }
+    const AddressCodec &codec() const { return codec_; }
+    const ProcessModel &process() const { return process_; }
+    const ErrorModel &errors() const { return errors_; }
+    const VthModel &vth() const { return vth_; }
+    const IsppEngine &ispp() const { return ispp_; }
+    const ReadModel &readModel() const { return read_; }
+    const ecc::EccModel &ecc() const { return ecc_; }
+    const NandTiming &timing() const { return config_.timing; }
+    /** @} */
+
+    /**
+     * Inject a wear/retention condition for the whole chip, as the
+     * characterization rig does with pre-cycling and bake (Sec. 3.1).
+     * Runtime erases add on top of the injected P/E count.
+     */
+    void setAging(const AgingState &aging) { baseAging_ = aging; }
+    const AgingState &baseAging() const { return baseAging_; }
+
+    /** Effective aging of one block (injected + runtime erases). */
+    AgingState blockAging(std::uint32_t block) const;
+
+    /** Erase a block. @return the erase latency. */
+    SimTime eraseBlock(std::uint32_t block);
+
+    /**
+     * One-shot program of all pages of a word line.
+     *
+     * @param addr    target WL; must be erased and not yet programmed
+     * @param cmd     PS-aware knobs (default = nominal program)
+     * @param tokens  one data token per page (size == pagesPerWl)
+     * @return the ISPP outcome; tProg includes Set-Feature overhead
+     *         when cmd is non-default.
+     */
+    WlProgramResult programWl(const WlAddr &addr,
+                              const ProgramCommand &cmd,
+                              std::span<const std::uint64_t> tokens);
+
+    /**
+     * Read one page.
+     *
+     * @param addr           target page; must be programmed
+     * @param appliedShiftMv starting read-reference shift (0 = chip
+     *                       default; ORT value for PS-aware reads).
+     *                       Non-zero implies a Set-Feature.
+     * @param softHint       start with the soft LDPC decode (the
+     *                       controller expects a noisy page; paper
+     *                       Sec. 8's leader-informed ECC).
+     */
+    ReadOutcome readPage(const PageAddr &addr, MilliVolt appliedShiftMv,
+                         bool softHint = false);
+
+    /** Stored data token of a programmed page. */
+    std::uint64_t pageToken(const PageAddr &addr) const;
+
+    /**
+     * Characterization measurement: the page's normalized BER at
+     * *calibrated* (optimal) read references, with only RTN-scale
+     * measurement noise — the equivalent of the paper's N_ret
+     * measurement procedure (Sec. 3.1), used by the Figs. 5/6
+     * characterization benches. Does not touch timing or stats.
+     */
+    double measureBerNorm(const PageAddr &addr);
+
+    bool isPageProgrammed(const PageAddr &addr) const;
+    bool isWlProgrammed(const WlAddr &addr) const;
+
+    /** Runtime erase count of a block (excludes injected aging). */
+    PeCycles eraseCount(std::uint32_t block) const;
+
+    /** Quality factor of a WL (convenience pass-through). */
+    double wlQuality(const WlAddr &addr) const
+    {
+        return process_.wlQuality(addr);
+    }
+
+    const NandChipStats &stats() const { return stats_; }
+    void resetStats() { stats_ = NandChipStats{}; }
+
+  private:
+    struct WlState
+    {
+        std::uint8_t programmedPages = 0;  ///< bitmask
+        float berMultiplier = 1.0f;        ///< program-time BER penalty
+    };
+
+    struct BlockState
+    {
+        PeCycles eraseCount = 0;
+        std::vector<WlState> wls;
+        std::vector<std::uint64_t> tokens;
+    };
+
+    std::size_t wlIndex(const WlAddr &addr) const;
+    std::size_t pageIndexInBlock(const PageAddr &addr) const;
+
+    NandChipConfig config_;
+    AddressCodec codec_;
+    ProcessModel process_;
+    ErrorModel errors_;
+    VthModel vth_;
+    IsppEngine ispp_;
+    ecc::EccModel ecc_;
+    ReadModel read_;
+    Rng rng_;
+    AgingState baseAging_{};
+    std::vector<BlockState> blocks_;
+    NandChipStats stats_;
+};
+
+}  // namespace cubessd::nand
+
+#endif  // CUBESSD_NAND_CHIP_H

@@ -1,0 +1,115 @@
+#include "src/nand/error_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace cubessd::nand {
+
+ErrorModel::ErrorModel(const ErrorParams &params)
+    : params_(params)
+{
+    if (params_.baseBer <= 0.0 || params_.peEol == 0 ||
+        params_.retEolMonths <= 0.0) {
+        fatal("ErrorModel: non-positive calibration constant");
+    }
+    logEolRet_ = std::log(1.0 + params_.retEolMonths);
+}
+
+double
+ErrorModel::severity(const AgingState &aging) const
+{
+    const double peTerm = static_cast<double>(aging.peCycles) /
+                          static_cast<double>(params_.peEol);
+    const double retTerm =
+        std::log(1.0 + std::max(0.0, aging.retentionMonths)) / logEolRet_;
+    return std::clamp(0.5 * peTerm + 0.5 * retTerm, 0.0, 1.5);
+}
+
+double
+ErrorModel::retentionBer(double q, const AgingState &aging,
+                         double chipFactor) const
+{
+    return params_.baseBer * normalizedBer(q, aging, chipFactor);
+}
+
+double
+ErrorModel::normalizedBer(double q, const AgingState &aging,
+                          double chipFactor) const
+{
+    const double x = static_cast<double>(aging.peCycles) / 1000.0;
+    const double peGrowth = 1.0 + params_.peA * std::pow(x, params_.peP);
+    const double retGrowth =
+        1.0 + params_.retB *
+                  std::log(1.0 + std::max(0.0, aging.retentionMonths));
+    // Worse layers age faster: the quality exponent grows with severity,
+    // producing the nonlinear layer divergence of Fig. 6(c).
+    const double exponent = 1.0 + params_.qualityAmp * severity(aging);
+    return chipFactor * std::pow(q, exponent) * peGrowth * retGrowth;
+}
+
+double
+ErrorModel::berEp1Norm(double q, const AgingState &aging,
+                       double chipFactor) const
+{
+    return params_.ep1Fraction * normalizedBer(q, aging, chipFactor);
+}
+
+double
+ErrorModel::projectedRetentionNorm(double measuredNorm,
+                                   const AgingState &current) const
+{
+    if (measuredNorm <= 0.0)
+        return 0.0;
+    // Invert normalizedBer() at the current condition to estimate the
+    // WL quality factor (the chip factor folds into the estimate,
+    // which keeps the projection conservative for bad chips).
+    const double x = static_cast<double>(current.peCycles) / 1000.0;
+    const double peGrowth = 1.0 + params_.peA * std::pow(x, params_.peP);
+    const double retGrowth =
+        1.0 + params_.retB *
+                  std::log(1.0 + std::max(0.0, current.retentionMonths));
+    const double exponent = 1.0 + params_.qualityAmp * severity(current);
+    const double qEst = std::pow(
+        std::max(measuredNorm / (peGrowth * retGrowth), 1e-9),
+        1.0 / exponent);
+
+    const AgingState endOfRetention{current.peCycles,
+                                    params_.retEolMonths};
+    return normalizedBer(qEst, endOfRetention, 1.0);
+}
+
+double
+ErrorModel::windowShrinkMultiplier(double shrinkMv) const
+{
+    if (shrinkMv <= 0.0)
+        return 1.0;
+    return 1.0 +
+           params_.windowK * std::pow(shrinkMv / 100.0, params_.windowP);
+}
+
+double
+ErrorModel::safeWindowShrinkMv(double allowedMultiplier) const
+{
+    if (allowedMultiplier <= 1.0)
+        return 0.0;
+    return 100.0 *
+           std::pow((allowedMultiplier - 1.0) / params_.windowK,
+                    1.0 / params_.windowP);
+}
+
+double
+ErrorModel::overProgramMultiplier(int extraSkips, int state) const
+{
+    if (extraSkips <= 0)
+        return 1.0;
+    // Higher program states sit closer to the next state's window and
+    // accumulate overshoot from every earlier state's pulses.
+    const double stateWeight = 0.6 + 0.1 * static_cast<double>(state);
+    return 1.0 + params_.overK * stateWeight *
+                     std::pow(static_cast<double>(extraSkips),
+                              params_.overP);
+}
+
+}  // namespace cubessd::nand

@@ -1,0 +1,74 @@
+#include "src/nand/geometry.h"
+
+#include "src/common/logging.h"
+
+namespace cubessd::nand {
+
+AddressCodec::AddressCodec(const NandGeometry &geom)
+    : geom_(geom)
+{
+    if (!geom_.valid())
+        fatal("NandGeometry has a zero dimension");
+}
+
+std::uint64_t
+AddressCodec::encode(const PageAddr &addr) const
+{
+    return ((static_cast<std::uint64_t>(addr.block) *
+                 geom_.layersPerBlock + addr.layer) *
+                geom_.wlsPerLayer + addr.wl) *
+               geom_.pagesPerWl + addr.page;
+}
+
+PageAddr
+AddressCodec::decode(std::uint64_t index) const
+{
+    PageAddr addr;
+    addr.page = static_cast<std::uint32_t>(index % geom_.pagesPerWl);
+    index /= geom_.pagesPerWl;
+    addr.wl = static_cast<std::uint32_t>(index % geom_.wlsPerLayer);
+    index /= geom_.wlsPerLayer;
+    addr.layer = static_cast<std::uint32_t>(index % geom_.layersPerBlock);
+    index /= geom_.layersPerBlock;
+    addr.block = static_cast<std::uint32_t>(index);
+    return addr;
+}
+
+std::uint64_t
+AddressCodec::encodeWl(const WlAddr &addr) const
+{
+    return (static_cast<std::uint64_t>(addr.block) *
+                geom_.layersPerBlock + addr.layer) *
+               geom_.wlsPerLayer + addr.wl;
+}
+
+WlAddr
+AddressCodec::decodeWl(std::uint64_t index) const
+{
+    WlAddr addr;
+    addr.wl = static_cast<std::uint32_t>(index % geom_.wlsPerLayer);
+    index /= geom_.wlsPerLayer;
+    addr.layer = static_cast<std::uint32_t>(index % geom_.layersPerBlock);
+    index /= geom_.layersPerBlock;
+    addr.block = static_cast<std::uint32_t>(index);
+    return addr;
+}
+
+bool
+AddressCodec::contains(const PageAddr &addr) const
+{
+    return addr.block < geom_.blocksPerChip &&
+           addr.layer < geom_.layersPerBlock &&
+           addr.wl < geom_.wlsPerLayer &&
+           addr.page < geom_.pagesPerWl;
+}
+
+bool
+AddressCodec::contains(const WlAddr &addr) const
+{
+    return addr.block < geom_.blocksPerChip &&
+           addr.layer < geom_.layersPerBlock &&
+           addr.wl < geom_.wlsPerLayer;
+}
+
+}  // namespace cubessd::nand

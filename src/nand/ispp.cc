@@ -1,0 +1,144 @@
+#include "src/nand/ispp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace cubessd::nand {
+
+IsppEngine::IsppEngine(const IsppConfig &config, const ErrorModel &errors)
+    : config_(config), errors_(errors)
+{
+    if (config_.deltaVMv <= 0 || config_.windowMv <= 0)
+        fatal("IsppEngine: non-positive voltage configuration");
+    if (config_.programStates < 1 ||
+        config_.programStates > kMaxProgramStates)
+        fatal("IsppEngine: programStates must be in [1, %d]",
+              kMaxProgramStates);
+    if (config_.stateTargetMv(config_.programStates) > config_.windowMv)
+        fatal("IsppEngine: top state target exceeds the ISPP window");
+}
+
+std::array<StateLoops, kTlcStates>
+IsppEngine::stateLoops(double speedMv, double q, const AgingState &aging,
+                       MilliVolt vStartAdjMv) const
+{
+    const double sev = errors_.severity(aging);
+    const double sigma = config_.cellSigmaMv * (1.0 + config_.sigmaAging *
+                                                          sev);
+    const double mu = speedMv - config_.speedAging * sev * (q - 1.0);
+    const double dv = static_cast<double>(config_.deltaVMv);
+
+    std::array<StateLoops, kTlcStates> out{};
+    for (int s = 1; s <= config_.programStates; ++s) {
+        const double target =
+            static_cast<double>(config_.stateTargetMv(s) - vStartAdjMv);
+        const double fast = mu + 3.0 * sigma;
+        const double slow = mu - 3.0 * sigma;
+        const int lMin = std::max(
+            1, static_cast<int>(std::ceil((target - fast) / dv)));
+        const int lMax = std::max(
+            lMin, static_cast<int>(std::ceil((target - slow) / dv)));
+        out[static_cast<std::size_t>(s - 1)] = StateLoops{lMin, lMax};
+    }
+    return out;
+}
+
+std::array<int, kTlcStates>
+IsppEngine::safeSkipPlan(const std::array<StateLoops, kTlcStates> &loops)
+{
+    std::array<int, kTlcStates> plan{};
+    for (int s = 0; s < kTlcStates; ++s) {
+        plan[static_cast<std::size_t>(s)] =
+            std::max(0, loops[static_cast<std::size_t>(s)].lMin - 1);
+    }
+    return plan;
+}
+
+std::vector<int>
+IsppEngine::defaultVerifySchedule(
+    const std::array<StateLoops, kTlcStates> &loops) const
+{
+    const int last =
+        loops[static_cast<std::size_t>(config_.programStates) - 1].lMax;
+    std::vector<int> schedule(static_cast<std::size_t>(last), 0);
+    for (int i = 1; i <= last; ++i) {
+        for (int s = 0; s < config_.programStates; ++s) {
+            if (loops[static_cast<std::size_t>(s)].lMax >= i)
+                ++schedule[static_cast<std::size_t>(i - 1)];
+        }
+    }
+    return schedule;
+}
+
+WlProgramResult
+IsppEngine::program(double q, double speedMv, const AgingState &aging,
+                    double chipFactor, const ProgramCommand &cmd,
+                    Rng &rng) const
+{
+    WlProgramResult result;
+
+    // Small per-operation speed jitter: supply/temperature noise. This
+    // is what occasionally invalidates a leader's monitored parameters
+    // and trips the safety check (Sec. 4.1.4).
+    const double opSpeed = speedMv + rng.normal(0.0, 2.0);
+    result.loops = stateLoops(opSpeed, q, aging, cmd.vStartAdjMv);
+
+    const int maxLoopAllowed = std::max(
+        1, (config_.windowMv - cmd.vStartAdjMv - cmd.vFinalAdjMv) /
+               config_.deltaVMv);
+    const int lastNeeded =
+        result.loops[static_cast<std::size_t>(config_.programStates) -
+                     1].lMax;
+    result.loopsUsed = std::min(lastNeeded, maxLoopAllowed);
+    result.truncated = lastNeeded > maxLoopAllowed;
+
+    // Verify accounting. Default behaviour (Fig. 3): every loop
+    // verifies every state whose slowest cells have not yet arrived,
+    // i.e. state s is verified on loops [1, L_max(s)]. A skip plan
+    // defers state s's first verify to loop skip(s) + 1 — but the
+    // device always verifies a state at least once to terminate it.
+    for (int s = 0; s < config_.programStates; ++s) {
+        const auto &win = result.loops[static_cast<std::size_t>(s)];
+        const int last = std::min(win.lMax, result.loopsUsed);
+        const int defaultCount = last;  // loops 1..last
+        int first = 1;
+        if (cmd.useSkipPlan) {
+            first = std::min(
+                cmd.skipVfy[static_cast<std::size_t>(s)] + 1, last);
+            first = std::max(first, 1);
+        }
+        const int count = last - first + 1;
+        result.verifiesDone += count;
+        result.verifiesSkipped += defaultCount - count;
+
+        if (cmd.useSkipPlan) {
+            // Skipping past the loop where the fastest cells arrive
+            // over-programs them (Fig. 8(a)).
+            const int extra =
+                cmd.skipVfy[static_cast<std::size_t>(s)] - (win.lMin - 1);
+            result.berMultiplier *=
+                errors_.overProgramMultiplier(extra, s + 1);
+        }
+    }
+
+    // Shrinking the ISPP window costs BER margin (Sec. 4.1.2): a raised
+    // V_Start overshoots the fastest P1 cells, a lowered V_Final leaves
+    // the slowest P7 cells under-programmed.
+    result.berMultiplier *= errors_.windowShrinkMultiplier(
+        static_cast<double>(cmd.totalShrinkMv()));
+
+    result.tProg =
+        static_cast<SimTime>(result.loopsUsed) * config_.tPgm +
+        static_cast<SimTime>(result.verifiesDone) * config_.tVfy;
+
+    // Monitored health indicator, with measurement noise.
+    result.berEp1Norm = errors_.berEp1Norm(q, aging, chipFactor) *
+                        (1.0 + 0.03 * rng.normal());
+    result.berEp1Norm = std::max(result.berEp1Norm, 0.0);
+
+    return result;
+}
+
+}  // namespace cubessd::nand

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Incremental Step Pulse Programming (ISPP) engine.
+ *
+ * Models a one-pass TLC program operation at the micro-operation level
+ * of the paper's Sec. 2.2: a sequence of program pulses (PGM) of
+ * voltage V_Start + n * dV_ISPP, each followed by verify steps (VFY)
+ * for every program state whose cells are not yet all in place.
+ *
+ *   tPROG = sum_i (tPGM + k_i * tVFY)        (paper Eq. 1)
+ *
+ * A cell with program-speed boost b reaches state s's target Vt on
+ * pulse n = ceil((Vt(s) - b - vStartAdj) / dV). Per-WL cell speeds are
+ * Gaussian, so each state s occupies an absolute loop window
+ * [L_min(s), L_max(s)] (fastest cell .. slowest cell, +-3 sigma).
+ *
+ * The engine supports the two PS-aware knobs of Sec. 4.1:
+ *  - a *skip plan*: per-state count of leading VFYs to omit. Skipping
+ *    more than the safe L_min(s)-1 over-programs fast cells and adds
+ *    BER (Fig. 8(a)).
+ *  - *window adjustment*: vStartAdj raises V_Start (fewer loops to
+ *    reach each state), vFinalAdj lowers V_Final (caps MaxLoop).
+ *    Shrinking the window trades BER margin for latency (Fig. 9).
+ */
+
+#ifndef CUBESSD_NAND_ISPP_H
+#define CUBESSD_NAND_ISPP_H
+
+#include <array>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/common/units.h"
+#include "src/nand/error_model.h"
+
+namespace cubessd::nand {
+
+/** Maximum supported programmed states (3-bit TLC: P1..P7). */
+inline constexpr int kMaxProgramStates = 7;
+/** Number of programmed states in TLC NAND (P1..P7). */
+inline constexpr int kTlcStates = kMaxProgramStates;
+
+/** ISPP design parameters (paper Fig. 3(a)); defaults calibrated so the
+ *  default tPROG is ~700 us, the paper's nominal TLC program time. */
+struct IsppConfig
+{
+    /** Programmed states: 7 for TLC (default), 3 for MLC, 1 for SLC.
+     *  Must match the geometry's pagesPerWl (2^pages - 1). */
+    int programStates = kTlcStates;
+    /** V_Final - V_Start in the default (worst-case-safe) setting. */
+    MilliVolt windowMv = 1600;
+    /** Per-pulse voltage increment dV_ISPP. */
+    MilliVolt deltaVMv = 100;
+    /** Vt target of P1 above the first pulse voltage. */
+    MilliVolt firstStateOffsetMv = 200;
+    /** Vt target spacing between adjacent states. */
+    MilliVolt stateSpacingMv = 200;
+    /** Per-cell program-speed spread (std-dev, mV), fresh. */
+    double cellSigmaMv = 55.0;
+    /** Spread growth with aging: sigma_eff = sigma * (1 + k * sev). */
+    double sigmaAging = 0.25;
+    /** Mean-speed slowdown (mV) per unit of sev * (q - 1). */
+    double speedAging = 40.0;
+    /** One program pulse. */
+    SimTime tPgm = 31500;         // 31.5 us
+    /** One verify step. */
+    SimTime tVfy = 2800;          // 2.8 us
+
+    /** MaxLoop of the default window. */
+    int maxLoops() const { return windowMv / deltaVMv; }
+
+    /** Vt target of state s (1-based) above default V_Start. */
+    MilliVolt
+    stateTargetMv(int state) const
+    {
+        return firstStateOffsetMv + stateSpacingMv * (state - 1);
+    }
+};
+
+/** Per-state absolute ISPP loop window (1-based, inclusive). */
+struct StateLoops
+{
+    int lMin = 1;  ///< loop on which the fastest cells arrive
+    int lMax = 1;  ///< loop on which the slowest cells arrive
+};
+
+/** PS-aware knobs applied to one WL program (default = leader/PS-unaware). */
+struct ProgramCommand
+{
+    MilliVolt vStartAdjMv = 0;   ///< raise of V_Start (>= 0)
+    MilliVolt vFinalAdjMv = 0;   ///< lowering of V_Final (>= 0)
+    bool useSkipPlan = false;
+    /** Per-state count of leading VFYs to skip (valid iff useSkipPlan). */
+    std::array<int, kTlcStates> skipVfy{};
+
+    /** @return true if any non-default parameter is set (needs a
+     *  Set-Feature command on the chip, Sec. 4.1.4 / 5.1). */
+    bool
+    nonDefault() const
+    {
+        return vStartAdjMv != 0 || vFinalAdjMv != 0 || useSkipPlan;
+    }
+
+    MilliVolt totalShrinkMv() const { return vStartAdjMv + vFinalAdjMv; }
+};
+
+/** Outcome of one WL program operation. */
+struct WlProgramResult
+{
+    SimTime tProg = 0;           ///< total program latency
+    int loopsUsed = 0;           ///< ISPP loops actually executed
+    int verifiesDone = 0;        ///< VFY steps actually executed
+    int verifiesSkipped = 0;     ///< VFY steps omitted via the skip plan
+    /** Monitored per-state loop windows (the OPM's [L_min, L_max]). */
+    std::array<StateLoops, kTlcStates> loops{};
+    /** Monitored normalized BER between E and P1 (the OPM's BER_EP1). */
+    double berEp1Norm = 0.0;
+    /** Multiplier (>= 1) this program applied to the WL's natural BER
+     *  (window shrink + over/under-programming costs). */
+    double berMultiplier = 1.0;
+    /** True if V_Final truncation cut off the slowest cells. */
+    bool truncated = false;
+};
+
+/**
+ * Stateless ISPP computation engine (per-chip state lives in NandChip).
+ */
+class IsppEngine
+{
+  public:
+    IsppEngine(const IsppConfig &config, const ErrorModel &errors);
+
+    const IsppConfig &config() const { return config_; }
+
+    /**
+     * Per-state absolute loop windows for a WL with mean speed boost
+     * `speedMv` and quality q under `aging`, given a V_Start raise.
+     * Entries beyond programStates stay at their default {1, 1}.
+     */
+    std::array<StateLoops, kTlcStates>
+    stateLoops(double speedMv, double q, const AgingState &aging,
+               MilliVolt vStartAdjMv) const;
+
+    /**
+     * The default (PS-unaware) verify schedule: k_i, the number of
+     * VFY steps in ISPP loop i (paper Fig. 3(b) — every state not yet
+     * completed is verified on every loop).
+     */
+    std::vector<int>
+    defaultVerifySchedule(
+        const std::array<StateLoops, kTlcStates> &loops) const;
+
+    /**
+     * Execute one WL program.
+     *
+     * @param q        WL quality factor (ProcessModel::wlQuality)
+     * @param speedMv  WL mean program-speed boost
+     * @param aging    wear/retention condition of the block
+     * @param chipFactor per-chip BER multiplier
+     * @param cmd      PS-aware knobs (default-constructed = leader)
+     * @param rng      source for measurement/operation noise
+     */
+    WlProgramResult program(double q, double speedMv,
+                            const AgingState &aging, double chipFactor,
+                            const ProgramCommand &cmd, Rng &rng) const;
+
+    /**
+     * The paper's safe skip plan (Sec. 4.1.1): for state s skip the
+     * VFYs of all loops before the leader's observed L_min(s).
+     */
+    static std::array<int, kTlcStates>
+    safeSkipPlan(const std::array<StateLoops, kTlcStates> &leaderLoops);
+
+  private:
+    IsppConfig config_;
+    const ErrorModel &errors_;
+};
+
+}  // namespace cubessd::nand
+
+#endif  // CUBESSD_NAND_ISPP_H

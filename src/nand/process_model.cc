@@ -1,0 +1,124 @@
+#include "src/nand/process_model.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace cubessd::nand {
+
+namespace {
+
+/**
+ * Deterministic 64-bit mix of an address tuple, used to derive static
+ * per-WL noise without storing per-WL state (428 blocks x 192 WLs per
+ * chip x many chips would add up).
+ */
+std::uint64_t
+mix(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t x = a * 0x9E3779B97F4A7C15ull + b;
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+/** Map a 64-bit hash to an approximately standard-normal value. */
+double
+hashNormal(std::uint64_t h)
+{
+    // Sum of 4 uniforms (Irwin-Hall), shifted/scaled: mean 0, var 1.
+    double sum = 0.0;
+    for (int i = 0; i < 4; ++i) {
+        sum += static_cast<double>((h >> (i * 16)) & 0xFFFF) / 65536.0;
+    }
+    return (sum - 2.0) * std::sqrt(3.0);
+}
+
+}  // namespace
+
+ProcessModel::ProcessModel(const NandGeometry &geom,
+                           const ProcessParams &params, std::uint64_t seed)
+    : geom_(geom), params_(params), seed_(seed)
+{
+    if (!geom_.valid())
+        fatal("ProcessModel: invalid geometry");
+
+    Rng rng(seed);
+    chipFactor_ = rng.lognormal(0.0, params_.chipSigma);
+
+    profile_.resize(geom_.layersPerBlock);
+    double best = 1e30;
+    double worstInterior = -1.0;
+    for (std::uint32_t l = 0; l < geom_.layersPerBlock; ++l) {
+        profile_[l] = profileAt(l);
+        if (profile_[l] < best) {
+            best = profile_[l];
+            beta_ = l;
+        }
+        const bool interior = l != 0 && l != geom_.layersPerBlock - 1;
+        if (interior && profile_[l] > worstInterior) {
+            worstInterior = profile_[l];
+            kappa_ = l;
+        }
+    }
+
+    blockSeverity_.resize(geom_.blocksPerChip);
+    for (auto &s : blockSeverity_)
+        s = rng.lognormal(0.0, params_.blockSigma);
+}
+
+double
+ProcessModel::profileAt(std::uint32_t layer) const
+{
+    const auto L = geom_.layersPerBlock;
+    const double z = L > 1
+        ? static_cast<double>(layer) / static_cast<double>(L - 1)
+        : 1.0;
+    const double taper =
+        params_.taperStrength * std::pow(1.0 - z, 1.5);
+    const double distortion =
+        params_.distortStrength * std::exp(-z / params_.distortDecay);
+    const double edge =
+        (layer == 0 || layer == L - 1) ? params_.edgePenalty : 0.0;
+    return taper + distortion + edge;
+}
+
+double
+ProcessModel::blockSeverity(std::uint32_t block) const
+{
+    return blockSeverity_.at(block);
+}
+
+double
+ProcessModel::layerQuality(std::uint32_t block, std::uint32_t layer) const
+{
+    return 1.0 + blockSeverity_.at(block) * profile_.at(layer);
+}
+
+double
+ProcessModel::wlQuality(const WlAddr &addr) const
+{
+    const double q = layerQuality(addr.block, addr.layer);
+    const std::uint64_t h = mix(seed_,
+                                mix(addr.block,
+                                    mix(addr.layer, addr.wl)));
+    return q * (1.0 + params_.wlSigma * hashNormal(h));
+}
+
+double
+ProcessModel::programSpeedMv(const WlAddr &addr) const
+{
+    const double q = layerQuality(addr.block, addr.layer);
+    // Tiny static intra-layer offset, distinct stream from wlQuality.
+    const std::uint64_t h = mix(seed_ ^ 0xABCDEF12345678ull,
+                                mix(addr.block,
+                                    mix(addr.layer, addr.wl)));
+    const double noise = 1.5 * hashNormal(h);  // +-~1.5 mV
+    return params_.speedPerQuality * (q - 1.0) + noise;
+}
+
+}  // namespace cubessd::nand

@@ -1,0 +1,90 @@
+#include "src/nand/read_model.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace cubessd::nand {
+
+ReadModel::ReadModel(const ReadParams &params, const VthModel &vth,
+                     const ErrorModel &errors, const ecc::EccModel &ecc)
+    : params_(params), vth_(vth), errors_(errors), ecc_(ecc)
+{
+}
+
+double
+ReadModel::rawBerNorm(double alignedNorm, double missMv) const
+{
+    const double scaled = missMv / vth_.params().berMissScaleMv;
+    return alignedNorm * (1.0 + scaled * scaled);
+}
+
+ReadOutcome
+ReadModel::read(std::uint32_t block, double q, const AgingState &aging,
+                double chipFactor, double berMultiplier,
+                MilliVolt appliedShiftMv, Rng &rng,
+                bool softHint) const
+{
+    ReadOutcome out;
+
+    const double optimal =
+        vth_.optimalShiftMv(block, q, aging, errors_) +
+        rng.normal(0.0, vth_.params().readJitterMv);
+    const double alignedNorm =
+        errors_.normalizedBer(q, aging, chipFactor) * berMultiplier;
+    const double baseBer = errors_.params().baseBer;
+    MilliVolt applied = appliedShiftMv;
+    MilliVolt step = vth_.params().retryStepMv;
+    int attempts = 0;
+    SimTime decodeTime = 0;
+    for (;;) {
+        const double miss =
+            std::abs(optimal - static_cast<double>(applied));
+        out.rawBerNorm = rawBerNorm(alignedNorm, miss);
+        decodeTime +=
+            ecc_.decodeLatencyNs(out.rawBerNorm * baseBer, softHint);
+        if (ecc_.correctable(out.rawBerNorm * baseBer)) {
+            if (attempts == 0) {
+                out.successShiftMv = applied;
+            } else {
+                // The retry walk stops at the *edge* of the decodable
+                // window; controllers then run a fine calibration so
+                // the remembered offset sits at the window center
+                // (otherwise every reuse teeters on the edge). Model:
+                // snap to the optimum at DAC granularity.
+                out.successShiftMv = static_cast<MilliVolt>(
+                    std::lround(optimal / 10.0) * 10);
+            }
+            break;
+        }
+        if (attempts >= params_.maxRetries) {
+            out.uncorrectable = true;
+            out.successShiftMv = applied;
+            break;
+        }
+        ++attempts;
+        // Retry table: walk the shift toward the drift direction
+        // (retention always lowers Vth, so deeper shifts), one step
+        // per retry. Vendor tables refine once the coarse sweep
+        // brackets the window: when the walk crosses the optimum,
+        // switch to fine steps so narrow end-of-life windows are not
+        // jumped over.
+        const bool below = static_cast<double>(applied) < optimal;
+        const MilliVolt next = below ? applied + step : applied - step;
+        const bool crosses = below
+            ? static_cast<double>(next) > optimal
+            : static_cast<double>(next) < optimal;
+        if (crosses && step > 10)
+            step = 10;
+        if (below)
+            applied += step;
+        else
+            applied -= step;
+    }
+
+    out.numRetries = attempts;
+    out.tRead = params_.tSense * static_cast<SimTime>(1 + attempts) +
+                decodeTime;
+    return out;
+}
+
+}  // namespace cubessd::nand

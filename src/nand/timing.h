@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Chip-level timing constants outside the ISPP/read models.
+ */
+
+#ifndef CUBESSD_NAND_TIMING_H
+#define CUBESSD_NAND_TIMING_H
+
+#include "src/common/types.h"
+#include "src/common/units.h"
+
+namespace cubessd::nand {
+
+/** Erase / interface timing (program and read times come from the
+ *  ISPP and read models; these are the rest). */
+struct NandTiming
+{
+    /** Block erase time. */
+    SimTime tErase = 3500 * kMicrosecond;
+    /** One Set/Get-Feature command (paper: <1 us, Sec. 4.1.4/5.1). */
+    SimTime tFeatureSet = 800 * kNanosecond;
+    /** ONFI-style bus speed for page transfers (~800 MB/s). */
+    double busNsPerByte = 1.25;
+
+    /** Bus occupancy of transferring `bytes` to/from the chip. */
+    SimTime
+    busTransferTime(std::uint64_t bytes) const
+    {
+        return static_cast<SimTime>(busNsPerByte *
+                                    static_cast<double>(bytes));
+    }
+};
+
+}  // namespace cubessd::nand
+
+#endif  // CUBESSD_NAND_TIMING_H

@@ -1,0 +1,68 @@
+#include "src/nand/vth_model.h"
+
+#include <cmath>
+
+namespace cubessd::nand {
+
+namespace {
+
+std::uint64_t
+mix(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t x = a * 0x9E3779B97F4A7C15ull + b;
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    return x;
+}
+
+}  // namespace
+
+VthModel::VthModel(const VthParams &params, std::uint64_t seed)
+    : params_(params), seed_(seed)
+{
+}
+
+double
+VthModel::blockDrift(std::uint32_t block) const
+{
+    const std::uint64_t h = mix(seed_ ^ 0x5D1FB2A8C3E49677ull, block);
+    // Map hash to approximately standard normal via Irwin-Hall.
+    double sum = 0.0;
+    for (int i = 0; i < 4; ++i)
+        sum += static_cast<double>((h >> (i * 16)) & 0xFFFF) / 65536.0;
+    const double z = (sum - 2.0) * std::sqrt(3.0);
+    return std::exp(params_.blockDriftSigma * z);
+}
+
+double
+VthModel::optimalShiftMv(std::uint32_t block, double q,
+                         const AgingState &aging,
+                         const ErrorModel &errors) const
+{
+    const double sev = errors.severity(aging);
+    if (sev <= 0.0)
+        return 0.0;
+    return params_.maxShiftMv * std::pow(sev, params_.sevExponent) * q *
+           blockDrift(block);
+}
+
+double
+VthModel::boundaryWeight(int i) const
+{
+    return 0.5 + 0.5 * static_cast<double>(i) /
+                     static_cast<double>(kTlcBoundaries - 1);
+}
+
+std::array<MilliVolt, kTlcBoundaries>
+VthModel::expandOffsets(double scalarMv) const
+{
+    std::array<MilliVolt, kTlcBoundaries> out{};
+    for (int i = 0; i < kTlcBoundaries; ++i) {
+        out[static_cast<std::size_t>(i)] = static_cast<MilliVolt>(
+            std::lround(-scalarMv * boundaryWeight(i)));
+    }
+    return out;
+}
+
+}  // namespace cubessd::nand

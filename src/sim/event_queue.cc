@@ -1,0 +1,63 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace cubessd::sim {
+
+SimTime
+EventQueue::schedule(SimTime delay, EventAction action)
+{
+    const SimTime when = now_ + delay;
+    scheduleAt(when, std::move(action));
+    return when;
+}
+
+void
+EventQueue::scheduleAt(SimTime when, EventAction action)
+{
+    if (when < now_)
+        panic("event scheduled in the past (when=%llu now=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now_));
+    heap_.push(Entry{when, nextSeq_++, std::move(action)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because we pop immediately and never re-inspect the entry.
+    Entry entry = std::move(const_cast<Entry &>(heap_.top()));
+    heap_.pop();
+    now_ = entry.when;
+    entry.action();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run()
+{
+    std::uint64_t fired = 0;
+    while (step())
+        ++fired;
+    return fired;
+}
+
+std::uint64_t
+EventQueue::runUntil(SimTime deadline)
+{
+    std::uint64_t fired = 0;
+    while (!heap_.empty() && heap_.top().when <= deadline) {
+        step();
+        ++fired;
+    }
+    if (now_ < deadline && heap_.empty())
+        now_ = deadline;
+    return fired;
+}
+
+}  // namespace cubessd::sim

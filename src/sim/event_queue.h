@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * The SSD model is driven by a single-threaded event queue: every hardware
+ * latency (NAND program, bus transfer, buffer flush) is an event scheduled
+ * at an absolute SimTime. Events at equal times fire in scheduling order
+ * (stable FIFO tie-break) so runs are deterministic.
+ */
+
+#ifndef CUBESSD_SIM_EVENT_QUEUE_H
+#define CUBESSD_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace cubessd::sim {
+
+/** Callback type invoked when an event fires. */
+using EventAction = std::function<void()>;
+
+/**
+ * A time-ordered queue of callbacks with a simulated clock.
+ *
+ * Usage:
+ * @code
+ *   EventQueue eq;
+ *   eq.schedule(500 * kNanosecond, [] { ... });
+ *   eq.run();                  // drains all events
+ * @endcode
+ */
+class EventQueue
+{
+  public:
+    /** @return the current simulated time. */
+    SimTime now() const { return now_; }
+
+    /**
+     * Schedule an action `delay` after the current time.
+     * @return the absolute fire time.
+     */
+    SimTime schedule(SimTime delay, EventAction action);
+
+    /** Schedule an action at an absolute time (must be >= now()). */
+    void scheduleAt(SimTime when, EventAction action);
+
+    /** @return true if no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** @return number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /**
+     * Fire the earliest event, advancing the clock to its time.
+     * @return false if the queue was empty.
+     */
+    bool step();
+
+    /** Run until the queue is empty. @return number of events fired. */
+    std::uint64_t run();
+
+    /**
+     * Run until the queue is empty or the clock would pass `deadline`.
+     * Events at exactly `deadline` still fire.
+     * @return number of events fired.
+     */
+    std::uint64_t runUntil(SimTime deadline);
+
+  private:
+    struct Entry
+    {
+        SimTime when;
+        std::uint64_t seq;   // FIFO tie-break for equal times
+        EventAction action;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    SimTime now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+};
+
+}  // namespace cubessd::sim
+
+#endif  // CUBESSD_SIM_EVENT_QUEUE_H

@@ -1,0 +1,16 @@
+#include "src/ssd/channel.h"
+
+#include <algorithm>
+
+namespace cubessd::ssd {
+
+SimTime
+Channel::reserve(SimTime earliest, SimTime duration)
+{
+    const SimTime start = std::max(earliest, freeAt_);
+    freeAt_ = start + duration;
+    busyTime_ += duration;
+    return start;
+}
+
+}  // namespace cubessd::ssd

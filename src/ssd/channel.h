@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared NAND bus (channel) occupancy model.
+ *
+ * Several chips share one channel; page transfers serialize on it.
+ * Reservation is analytic bookkeeping: a caller asks for the bus no
+ * earlier than `earliest` for `duration`, and receives the granted
+ * start time. Grants are first-come-first-served in call order, which
+ * follows simulated-event order.
+ */
+
+#ifndef CUBESSD_SSD_CHANNEL_H
+#define CUBESSD_SSD_CHANNEL_H
+
+#include "src/common/types.h"
+
+namespace cubessd::ssd {
+
+class Channel
+{
+  public:
+    /**
+     * Reserve the bus.
+     * @return the granted start time (>= earliest).
+     */
+    SimTime reserve(SimTime earliest, SimTime duration);
+
+    /** Time at which the bus next becomes free. */
+    SimTime freeAt() const { return freeAt_; }
+
+    /** Total time the bus has been occupied (for utilization stats). */
+    SimTime busyTime() const { return busyTime_; }
+
+  private:
+    SimTime freeAt_ = 0;
+    SimTime busyTime_ = 0;
+};
+
+}  // namespace cubessd::ssd
+
+#endif  // CUBESSD_SSD_CHANNEL_H

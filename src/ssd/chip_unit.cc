@@ -1,0 +1,80 @@
+#include "src/ssd/chip_unit.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace cubessd::ssd {
+
+ChipUnit::ChipUnit(nand::NandChip &chip, Channel &channel,
+                   sim::EventQueue &queue)
+    : chip_(chip), channel_(channel), queue_(queue)
+{
+}
+
+void
+ChipUnit::enqueue(NandOp op)
+{
+    if (op.highPriority)
+        pending_.push_front(std::move(op));
+    else
+        pending_.push_back(std::move(op));
+    tryStart();
+}
+
+void
+ChipUnit::tryStart()
+{
+    if (busy_ || pending_.empty())
+        return;
+    busy_ = true;
+    NandOp op = std::move(pending_.front());
+    pending_.pop_front();
+    execute(std::move(op));
+}
+
+void
+ChipUnit::execute(NandOp op)
+{
+    const SimTime now = queue_.now();
+    const auto &geom = chip_.geometry();
+    const auto &timing = chip_.timing();
+
+    NandOpResult result;
+    result.start = now;
+
+    switch (op.kind) {
+      case NandOp::Kind::Read: {
+        result.read =
+            chip_.readPage(op.page, op.readShiftMv, op.readSoftHint);
+        const SimTime senseEnd = now + result.read.tRead;
+        const SimTime tx = timing.busTransferTime(geom.pageSizeBytes);
+        const SimTime txStart = channel_.reserve(senseEnd, tx);
+        result.end = txStart + tx;
+        break;
+      }
+      case NandOp::Kind::Program: {
+        const SimTime tx = timing.busTransferTime(
+            static_cast<std::uint64_t>(geom.pageSizeBytes) *
+            op.tokens.size());
+        const SimTime txStart = channel_.reserve(now, tx);
+        result.program = chip_.programWl(op.wl, op.cmd, op.tokens);
+        result.end = txStart + tx + result.program.tProg;
+        break;
+      }
+      case NandOp::Kind::Erase: {
+        result.end = now + chip_.eraseBlock(op.block);
+        break;
+      }
+    }
+
+    queue_.scheduleAt(result.end,
+                      [this, result, done = std::move(op.done)]() {
+                          busy_ = false;
+                          if (done)
+                              done(result);
+                          tryStart();
+                      });
+}
+
+}  // namespace cubessd::ssd

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Per-chip operation scheduler.
+ *
+ * A NAND die executes one command at a time. ChipUnit keeps a FIFO of
+ * pending operations per chip, executes the behavioural chip model
+ * when an operation starts, accounts for channel (bus) occupancy, and
+ * fires a completion callback through the event queue:
+ *
+ *  - Read:    [sense (die)] -> [transfer out (bus)]
+ *  - Program: [transfer in (bus)] -> [ISPP (die)]
+ *  - Erase:   [erase (die)]
+ *
+ * The die is considered busy for the whole span of the operation
+ * (including its bus phase).
+ */
+
+#ifndef CUBESSD_SSD_CHIP_UNIT_H
+#define CUBESSD_SSD_CHIP_UNIT_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/nand/chip.h"
+#include "src/sim/event_queue.h"
+#include "src/ssd/channel.h"
+
+namespace cubessd::ssd {
+
+/** Result of one scheduled NAND operation. */
+struct NandOpResult
+{
+    SimTime start = 0;   ///< when the die began the operation
+    SimTime end = 0;     ///< when the die became free again
+    nand::ReadOutcome read{};          ///< valid for reads
+    nand::WlProgramResult program{};   ///< valid for programs
+};
+
+/** Completion callback. */
+using NandOpCallback = std::function<void(const NandOpResult &)>;
+
+/** One pending chip operation. */
+struct NandOp
+{
+    enum class Kind { Read, Program, Erase };
+
+    Kind kind = Kind::Read;
+    nand::PageAddr page{};     ///< Read
+    nand::WlAddr wl{};         ///< Program
+    std::uint32_t block = 0;   ///< Erase
+    MilliVolt readShiftMv = 0;
+    bool readSoftHint = false;
+    nand::ProgramCommand cmd{};
+    std::vector<std::uint64_t> tokens;  ///< Program payload
+    NandOpCallback done;
+    bool highPriority = false;  ///< queue ahead of normal ops (reads)
+};
+
+class ChipUnit
+{
+  public:
+    ChipUnit(nand::NandChip &chip, Channel &channel,
+             sim::EventQueue &queue);
+
+    /** Enqueue an operation; starts immediately if the die is idle. */
+    void enqueue(NandOp op);
+
+    bool idle() const { return !busy_ && pending_.empty(); }
+    std::size_t queueDepth() const { return pending_.size(); }
+
+    nand::NandChip &chip() { return chip_; }
+    const nand::NandChip &chip() const { return chip_; }
+
+  private:
+    void tryStart();
+    void execute(NandOp op);
+
+    nand::NandChip &chip_;
+    Channel &channel_;
+    sim::EventQueue &queue_;
+    std::deque<NandOp> pending_;
+    bool busy_ = false;
+};
+
+}  // namespace cubessd::ssd
+
+#endif  // CUBESSD_SSD_CHIP_UNIT_H

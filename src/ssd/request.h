@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Host-level I/O request and completion types.
+ *
+ * The host address space is in units of one flash page (16 KB by
+ * default); a request covers `pages` consecutive logical pages.
+ */
+
+#ifndef CUBESSD_SSD_REQUEST_H
+#define CUBESSD_SSD_REQUEST_H
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace cubessd::ssd {
+
+enum class IoType { Read, Write };
+
+/** One host I/O request. */
+struct HostRequest
+{
+    std::uint64_t id = 0;
+    IoType type = IoType::Read;
+    Lba lba = 0;           ///< first logical page
+    std::uint32_t pages = 1;
+    SimTime arrival = 0;   ///< submission time
+};
+
+/** Completion record emitted when a request finishes. */
+struct Completion
+{
+    std::uint64_t id = 0;
+    IoType type = IoType::Read;
+    std::uint32_t pages = 1;
+    SimTime arrival = 0;
+    SimTime finish = 0;
+
+    SimTime latency() const { return finish - arrival; }
+};
+
+}  // namespace cubessd::ssd
+
+#endif  // CUBESSD_SSD_REQUEST_H

@@ -1,0 +1,121 @@
+#include "src/ssd/ssd.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/ftl/cube_ftl.h"
+#include "src/ftl/page_ftl.h"
+#include "src/ftl/vert_ftl.h"
+
+namespace cubessd::ssd {
+
+const char *
+ftlKindName(FtlKind kind)
+{
+    switch (kind) {
+      case FtlKind::Page:      return "pageFTL";
+      case FtlKind::Vert:      return "vertFTL";
+      case FtlKind::Cube:      return "cubeFTL";
+      case FtlKind::CubeMinus: return "cubeFTL-";
+    }
+    return "?";
+}
+
+Ssd::Ssd(const SsdConfig &config)
+    : config_(config)
+{
+    if (config_.channels == 0 || config_.chipsPerChannel == 0)
+        fatal("Ssd: need at least one channel and one chip");
+
+    channels_.resize(config_.channels);
+    chips_.reserve(config_.totalChips());
+    for (std::uint32_t i = 0; i < config_.totalChips(); ++i) {
+        nand::NandChipConfig cc = config_.chip;
+        cc.seed = config_.seed * 0x1000193u + i + 1;
+        chips_.emplace_back(cc);
+    }
+    units_.reserve(chips_.size());
+    for (std::uint32_t i = 0; i < chips_.size(); ++i) {
+        units_.emplace_back(chips_[i],
+                            channels_[i / config_.chipsPerChannel],
+                            queue_);
+    }
+
+    switch (config_.ftl) {
+      case FtlKind::Page:
+        ftl_ = std::make_unique<ftl::PageFtl>(config_, units_, queue_);
+        break;
+      case FtlKind::Vert:
+        ftl_ = std::make_unique<ftl::VertFtl>(config_, units_, queue_);
+        break;
+      case FtlKind::Cube:
+        ftl_ = std::make_unique<ftl::CubeFtl>(config_, units_, queue_,
+                                              ftl::OpmConfig{},
+                                              config_.cubeFeatures);
+        break;
+      case FtlKind::CubeMinus: {
+        CubeFeatures features = config_.cubeFeatures;
+        features.wam = false;
+        ftl_ = std::make_unique<ftl::CubeFtl>(config_, units_, queue_,
+                                              ftl::OpmConfig{},
+                                              features);
+        break;
+      }
+    }
+}
+
+Ssd::~Ssd() = default;
+
+void
+Ssd::setAging(const nand::AgingState &aging)
+{
+    for (auto &chip : chips_)
+        chip.setAging(aging);
+}
+
+void
+Ssd::submit(HostRequest req,
+            std::function<void(const Completion &)> done)
+{
+    if (req.id == 0)
+        req.id = nextRequestId_++;
+    const SimTime when = std::max(req.arrival, queue_.now());
+    req.arrival = when;
+    queue_.scheduleAt(when, [this, req, done = std::move(done)]() {
+        if (req.type == IoType::Read)
+            ftl_->hostRead(req, done);
+        else
+            ftl_->hostWrite(req, done);
+    });
+}
+
+Completion
+Ssd::submitSync(HostRequest req)
+{
+    Completion result;
+    bool finished = false;
+    submit(std::move(req), [&](const Completion &c) {
+        result = c;
+        finished = true;
+    });
+    while (!finished && queue_.step()) {
+    }
+    if (!finished)
+        panic("Ssd::submitSync: request never completed");
+    return result;
+}
+
+void
+Ssd::drain()
+{
+    ftl_->flushAll();
+    queue_.run();
+}
+
+std::optional<std::uint64_t>
+Ssd::peek(Lba lba) const
+{
+    return ftl_->peek(lba);
+}
+
+}  // namespace cubessd::ssd

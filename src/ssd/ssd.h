@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The assembled SSD: event queue, channels, chips, and an FTL.
+ *
+ * This is the main entry point of the library for whole-device
+ * simulation:
+ *
+ * @code
+ *   ssd::SsdConfig config;
+ *   config.ftl = ssd::FtlKind::Cube;
+ *   ssd::Ssd ssd(config);
+ *   ssd.submit({.type = ssd::IoType::Write, .lba = 0, .pages = 8},
+ *              [](const ssd::Completion &c) { ... });
+ *   ssd.queue().run();
+ * @endcode
+ */
+
+#ifndef CUBESSD_SSD_SSD_H
+#define CUBESSD_SSD_SSD_H
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/nand/chip.h"
+#include "src/sim/event_queue.h"
+#include "src/ssd/channel.h"
+#include "src/ssd/chip_unit.h"
+#include "src/ssd/config.h"
+#include "src/ssd/request.h"
+
+namespace cubessd::ftl {
+class FtlBase;
+}
+
+namespace cubessd::ssd {
+
+class Ssd
+{
+  public:
+    explicit Ssd(const SsdConfig &config);
+    ~Ssd();
+
+    Ssd(const Ssd &) = delete;
+    Ssd &operator=(const Ssd &) = delete;
+
+    const SsdConfig &config() const { return config_; }
+    sim::EventQueue &queue() { return queue_; }
+    ftl::FtlBase &ftl() { return *ftl_; }
+    const ftl::FtlBase &ftl() const { return *ftl_; }
+
+    std::uint32_t chipCount() const
+    {
+        return static_cast<std::uint32_t>(chips_.size());
+    }
+    nand::NandChip &chip(std::uint32_t i) { return chips_[i]; }
+    ChipUnit &chipUnit(std::uint32_t i) { return units_[i]; }
+
+    std::uint64_t logicalPages() const { return config_.logicalPages(); }
+
+    /** Inject a wear/retention state into every chip (evaluation aid). */
+    void setAging(const nand::AgingState &aging);
+
+    /**
+     * Submit a request; it enters the device at
+     * max(now, req.arrival) and `done` fires at completion.
+     */
+    void submit(HostRequest req,
+                std::function<void(const Completion &)> done);
+
+    /** Submit and run the queue until this request completes. */
+    Completion submitSync(HostRequest req);
+
+    /** Flush the write buffer and run all pending events. */
+    void drain();
+
+    /** Data token of a logical page, bypassing timing (tests). */
+    std::optional<std::uint64_t> peek(Lba lba) const;
+
+  private:
+    SsdConfig config_;
+    sim::EventQueue queue_;
+    std::vector<Channel> channels_;
+    std::vector<nand::NandChip> chips_;
+    std::vector<ChipUnit> units_;
+    std::unique_ptr<ftl::FtlBase> ftl_;
+    std::uint64_t nextRequestId_ = 1;
+};
+
+}  // namespace cubessd::ssd
+
+#endif  // CUBESSD_SSD_SSD_H

@@ -1,0 +1,52 @@
+#include "src/ssd/write_buffer.h"
+
+#include "src/common/logging.h"
+
+namespace cubessd::ssd {
+
+WriteBuffer::WriteBuffer(std::uint32_t capacityPages)
+    : capacity_(capacityPages)
+{
+    if (capacity_ == 0)
+        fatal("WriteBuffer: capacity must be positive");
+}
+
+bool
+WriteBuffer::insert(Lba lba, std::uint64_t token, std::uint64_t version)
+{
+    auto it = index_.find(lba);
+    if (it != index_.end()) {
+        it->second->token = token;
+        it->second->version = version;
+        return true;
+    }
+    if (full())
+        return false;
+    fifo_.push_back(BufferEntry{lba, token, version});
+    index_.emplace(lba, std::prev(fifo_.end()));
+    return true;
+}
+
+std::optional<std::uint64_t>
+WriteBuffer::lookup(Lba lba) const
+{
+    auto it = index_.find(lba);
+    if (it == index_.end())
+        return std::nullopt;
+    return it->second->token;
+}
+
+std::vector<BufferEntry>
+WriteBuffer::popOldest(std::uint32_t n)
+{
+    std::vector<BufferEntry> out;
+    out.reserve(n);
+    while (n-- > 0 && !fifo_.empty()) {
+        out.push_back(fifo_.front());
+        index_.erase(fifo_.front().lba);
+        fifo_.pop_front();
+    }
+    return out;
+}
+
+}  // namespace cubessd::ssd

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * DRAM write buffer.
+ *
+ * Host writes complete as soon as their pages are buffered; a
+ * background flush drains the buffer to NAND in WL-sized batches. The
+ * buffer's *utilization* is the signal the WAM uses to detect a high
+ * write-bandwidth requirement (paper Sec. 5.2).
+ *
+ * Rewrites of a buffered logical page are absorbed in place (write
+ * coalescing), as a real buffer does.
+ */
+
+#ifndef CUBESSD_SSD_WRITE_BUFFER_H
+#define CUBESSD_SSD_WRITE_BUFFER_H
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace cubessd::ssd {
+
+/** One buffered logical page. */
+struct BufferEntry
+{
+    Lba lba = 0;
+    std::uint64_t token = 0;   ///< data token
+    std::uint64_t version = 0; ///< global write version of this page
+};
+
+class WriteBuffer
+{
+  public:
+    explicit WriteBuffer(std::uint32_t capacityPages);
+
+    std::uint32_t capacity() const { return capacity_; }
+    std::size_t size() const { return fifo_.size(); }
+    bool empty() const { return fifo_.empty(); }
+    bool full() const { return fifo_.size() >= capacity_; }
+
+    /** Buffer occupancy fraction mu in [0, 1]. */
+    double
+    utilization() const
+    {
+        return static_cast<double>(fifo_.size()) /
+               static_cast<double>(capacity_);
+    }
+
+    /**
+     * Insert or coalesce a page.
+     * @return false if the buffer is full and the page is not already
+     *         buffered (caller must stall and retry after a flush).
+     */
+    bool insert(Lba lba, std::uint64_t token, std::uint64_t version);
+
+    /** @return the buffered token for `lba`, if present (read hit). */
+    std::optional<std::uint64_t> lookup(Lba lba) const;
+
+    /** Pop up to `n` oldest entries for flushing to NAND. */
+    std::vector<BufferEntry> popOldest(std::uint32_t n);
+
+  private:
+    std::uint32_t capacity_;
+    std::list<BufferEntry> fifo_;  ///< oldest at front
+    std::unordered_map<Lba, std::list<BufferEntry>::iterator> index_;
+};
+
+}  // namespace cubessd::ssd
+
+#endif  // CUBESSD_SSD_WRITE_BUFFER_H

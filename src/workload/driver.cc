@@ -1,0 +1,168 @@
+#include "src/workload/driver.h"
+
+#include "src/common/logging.h"
+#include "src/common/units.h"
+
+namespace cubessd::workload {
+
+Driver::Driver(ssd::Ssd &ssd, WorkloadGenerator &generator)
+    : ssd_(ssd), generator_(generator),
+      pacingRng_(ssd.config().seed ^ 0xB0B0B0B0ull)
+{
+}
+
+void
+Driver::prefill(double overwriteFraction)
+{
+    const std::uint64_t ws = generator_.workingSetPages();
+    const std::uint64_t fill = ssd_.logicalPages();
+    constexpr std::uint32_t kChunk = 64;
+    constexpr std::uint64_t kDepth = 64;
+
+    // Phase 1: sequential fill of the whole logical space.
+    std::uint64_t nextLba = 0;
+    std::uint64_t outstanding = 0;
+    auto submitSeq = [&]() {
+        const auto pages = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(kChunk, fill - nextLba));
+        ssd::HostRequest req;
+        req.type = ssd::IoType::Write;
+        req.lba = nextLba;
+        req.pages = pages;
+        nextLba += pages;
+        ++outstanding;
+        ssd_.submit(req,
+                    [&outstanding](const ssd::Completion &) {
+                        --outstanding;
+                    });
+    };
+    while (nextLba < fill || outstanding > 0) {
+        while (nextLba < fill && outstanding < kDepth)
+            submitSeq();
+        if (outstanding > 0 && !ssd_.queue().step())
+            panic("Driver::prefill: queue drained with I/O outstanding");
+    }
+
+    // Phase 2: random overwrites to reach a GC-realistic state.
+    Rng rng(ssd_.config().seed ^ 0xFEEDFACEull);
+    std::uint64_t remaining = static_cast<std::uint64_t>(
+        static_cast<double>(ws) * overwriteFraction);
+    while (remaining > 0 || outstanding > 0) {
+        while (remaining > 0 && outstanding < kDepth) {
+            ssd::HostRequest req;
+            req.type = ssd::IoType::Write;
+            req.lba = rng.uniformInt(ws);
+            req.pages = 1;
+            --remaining;
+            ++outstanding;
+            ssd_.submit(req,
+                        [&outstanding](const ssd::Completion &) {
+                            --outstanding;
+                        });
+        }
+        if (outstanding > 0 && !ssd_.queue().step())
+            panic("Driver::prefill: queue drained with I/O outstanding");
+    }
+    ssd_.drain();
+}
+
+std::uint64_t
+Driver::sampleBurstLength()
+{
+    // Bursts vary around the spec's mean (uniform +-50%): real hosts
+    // do not emit fixed-size bursts, and the jitter also avoids
+    // phase-locking between burst cycles and the device's drain time.
+    const auto mean = generator_.spec().burstLength;
+    const std::uint64_t lo = std::max<std::uint64_t>(1, mean / 2);
+    return lo + pacingRng_.uniformInt(mean);
+}
+
+void
+Driver::submitOne(std::uint32_t thread)
+{
+    ssd::HostRequest req = generator_.next();
+    req.arrival = ssd_.queue().now();
+    --toSubmit_;
+    ++outstanding_;
+    ++threads_[thread].outstanding;
+
+    ssd_.submit(req, [this, thread](const ssd::Completion &c) {
+        auto &rec = c.type == ssd::IoType::Read
+                        ? result_->readLatencyUs
+                        : result_->writeLatencyUs;
+        rec.add(toMicroseconds(c.latency()));
+        ++result_->completedRequests;
+        --outstanding_;
+        auto &t = threads_[thread];
+        --t.outstanding;
+
+        const auto &spec = generator_.spec();
+        if (spec.burstLength == 0) {
+            // Steady closed loop: replace the completed request.
+            if (toSubmit_ > 0)
+                submitOne(thread);
+        } else if (t.outstanding == 0 && toSubmit_ > 0) {
+            // This thread's burst completed: idle (exponential think
+            // time around the spec's gap), then fire its next burst.
+            const SimTime gap = static_cast<SimTime>(
+                pacingRng_.exponential(
+                    static_cast<double>(spec.interBurstGap)));
+            ssd_.queue().schedule(gap, [this, thread]() {
+                auto &t2 = threads_[thread];
+                t2.burstRemaining = sampleBurstLength();
+                while (toSubmit_ > 0 && t2.burstRemaining > 0) {
+                    --t2.burstRemaining;
+                    submitOne(thread);
+                }
+            });
+        }
+    });
+}
+
+RunResult
+Driver::run(std::uint64_t requests)
+{
+    RunResult result;
+    result_ = &result;
+    toSubmit_ = requests;
+    outstanding_ = 0;
+    runStart_ = ssd_.queue().now();
+
+    const auto &spec = generator_.spec();
+    if (spec.burstLength == 0) {
+        threads_.assign(1, ThreadState{});
+        const std::uint64_t initial =
+            std::min<std::uint64_t>(spec.queueDepth, toSubmit_);
+        for (std::uint64_t i = 0; i < initial; ++i)
+            submitOne(0);
+    } else {
+        // Independent burst loops, one per host thread: a straggling
+        // request only stalls its own thread, as with a real
+        // multi-threaded benchmark client.
+        const std::uint32_t n = std::max<std::uint32_t>(1, spec.threads);
+        threads_.assign(n, ThreadState{});
+        for (std::uint32_t t = 0; t < n && toSubmit_ > 0; ++t) {
+            auto &ts = threads_[t];
+            ts.burstRemaining = sampleBurstLength();
+            while (toSubmit_ > 0 && ts.burstRemaining > 0) {
+                --ts.burstRemaining;
+                submitOne(t);
+            }
+        }
+    }
+
+    while ((toSubmit_ > 0 || outstanding_ > 0) && ssd_.queue().step()) {
+    }
+    if (toSubmit_ > 0 || outstanding_ > 0)
+        panic("Driver::run: queue drained with requests pending");
+
+    result.elapsed = ssd_.queue().now() - runStart_;
+    result.iops = result.elapsed > 0
+        ? static_cast<double>(result.completedRequests) /
+              toSeconds(result.elapsed)
+        : 0.0;
+    result_ = nullptr;
+    return result;
+}
+
+}  // namespace cubessd::workload

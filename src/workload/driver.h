@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Benchmark driver: paces a workload into an Ssd and measures IOPS
+ * and latency distributions.
+ *
+ * Two pacing modes, selected by the workload spec:
+ *  - steady closed loop (burstLength == 0): `queueDepth` requests are
+ *    kept in flight at all times;
+ *  - bursty (burstLength > 0): bursts of `burstLength` requests are
+ *    submitted back to back; when a burst fully completes, the host
+ *    idles for `interBurstGap` before the next one. This is the
+ *    pattern under which the WAM's leader/follower steering pays off
+ *    (slow leader programs are deferred into the idle gaps).
+ */
+
+#ifndef CUBESSD_WORKLOAD_DRIVER_H
+#define CUBESSD_WORKLOAD_DRIVER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/ssd/ssd.h"
+#include "src/workload/workload.h"
+
+namespace cubessd::workload {
+
+/** Result of one measured run. */
+struct RunResult
+{
+    std::uint64_t completedRequests = 0;
+    SimTime elapsed = 0;
+    double iops = 0.0;
+    LatencyRecorder readLatencyUs;
+    LatencyRecorder writeLatencyUs;
+};
+
+class Driver
+{
+  public:
+    Driver(ssd::Ssd &ssd, WorkloadGenerator &generator);
+
+    /**
+     * Fill the whole logical space sequentially, then randomly
+     * overwrite the requested fraction of the generator's working
+     * set, so measurements run against a full, GC-active device.
+     */
+    void prefill(double overwriteFraction = 0.3);
+
+    /** Run `requests` requests and collect IOPS/latency. */
+    RunResult run(std::uint64_t requests);
+
+  private:
+    struct ThreadState
+    {
+        std::uint64_t outstanding = 0;
+        std::uint64_t burstRemaining = 0;
+    };
+
+    void submitOne(std::uint32_t thread);
+    std::uint64_t sampleBurstLength();
+
+    ssd::Ssd &ssd_;
+    WorkloadGenerator &generator_;
+    Rng pacingRng_;
+
+    // live run state
+    RunResult *result_ = nullptr;
+    std::uint64_t toSubmit_ = 0;
+    std::uint64_t outstanding_ = 0;
+    std::vector<ThreadState> threads_;
+    SimTime runStart_ = 0;
+};
+
+}  // namespace cubessd::workload
+
+#endif  // CUBESSD_WORKLOAD_DRIVER_H

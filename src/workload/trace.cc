@@ -1,0 +1,93 @@
+#include "src/workload/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/common/units.h"
+
+namespace cubessd::workload {
+
+void
+TraceWriter::write(std::ostream &out,
+                   const std::vector<ssd::HostRequest> &requests)
+{
+    out << "# cubessd trace v1: arrival_ns op lba pages\n";
+    for (const auto &req : requests) {
+        out << req.arrival << ' '
+            << (req.type == ssd::IoType::Read ? 'R' : 'W') << ' '
+            << req.lba << ' ' << req.pages << '\n';
+    }
+}
+
+void
+TraceWriter::writeFile(const std::string &path,
+                       const std::vector<ssd::HostRequest> &requests)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("TraceWriter: cannot open '%s'", path.c_str());
+    write(out, requests);
+    if (!out)
+        fatal("TraceWriter: write error on '%s'", path.c_str());
+}
+
+std::vector<ssd::HostRequest>
+TraceReader::read(std::istream &in)
+{
+    std::vector<ssd::HostRequest> requests;
+    std::string line;
+    std::uint64_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        ssd::HostRequest req;
+        char op = 0;
+        if (!(fields >> req.arrival >> op >> req.lba >> req.pages) ||
+            (op != 'R' && op != 'W') || req.pages == 0) {
+            fatal("TraceReader: malformed trace line %llu: '%s'",
+                  static_cast<unsigned long long>(lineNo), line.c_str());
+        }
+        req.type = op == 'R' ? ssd::IoType::Read : ssd::IoType::Write;
+        requests.push_back(req);
+    }
+    return requests;
+}
+
+std::vector<ssd::HostRequest>
+TraceReader::readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("TraceReader: cannot open '%s'", path.c_str());
+    return read(in);
+}
+
+ReplayResult
+replayTrace(ssd::Ssd &ssd,
+            const std::vector<ssd::HostRequest> &requests)
+{
+    ReplayResult result;
+    const SimTime start = ssd.queue().now();
+    for (auto req : requests) {
+        req.arrival += start;  // replay relative to "now"
+        ssd.submit(req, [&result](const ssd::Completion &c) {
+            auto &rec = c.type == ssd::IoType::Read
+                            ? result.readLatencyUs
+                            : result.writeLatencyUs;
+            rec.add(toMicroseconds(c.latency()));
+            ++result.completed;
+        });
+    }
+    ssd.queue().run();
+    result.elapsed = ssd.queue().now() - start;
+    result.iops = result.elapsed > 0
+        ? static_cast<double>(result.completed) /
+              toSeconds(result.elapsed)
+        : 0.0;
+    return result;
+}
+
+}  // namespace cubessd::workload

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * I/O trace recording and replay.
+ *
+ * Traces use a simple line-oriented text format, one request per line:
+ *
+ *   <arrival_ns> <R|W> <lba> <pages>
+ *
+ * Lines starting with '#' are comments. TraceWriter captures a
+ * generated or live request stream; TraceReader loads it back, and
+ * replayTrace() submits it open-loop at the recorded arrival times.
+ */
+
+#ifndef CUBESSD_WORKLOAD_TRACE_H
+#define CUBESSD_WORKLOAD_TRACE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/ssd/ssd.h"
+#include "src/ssd/request.h"
+
+namespace cubessd::workload {
+
+/** Serialize requests to a stream / file. */
+class TraceWriter
+{
+  public:
+    /** Write a header comment and all requests to `out`. */
+    static void write(std::ostream &out,
+                      const std::vector<ssd::HostRequest> &requests);
+
+    /** Convenience: write to a file path. Fatal on I/O error. */
+    static void writeFile(const std::string &path,
+                          const std::vector<ssd::HostRequest> &requests);
+};
+
+/** Parse requests back from a stream / file. */
+class TraceReader
+{
+  public:
+    /** @return all requests in the stream; fatal on malformed lines. */
+    static std::vector<ssd::HostRequest> read(std::istream &in);
+
+    /** Convenience: read a file path. Fatal on I/O error. */
+    static std::vector<ssd::HostRequest>
+    readFile(const std::string &path);
+};
+
+/** Latency/IOPS summary of a replay. */
+struct ReplayResult
+{
+    std::uint64_t completed = 0;
+    SimTime elapsed = 0;
+    double iops = 0.0;
+    LatencyRecorder readLatencyUs;
+    LatencyRecorder writeLatencyUs;
+};
+
+/**
+ * Submit every request at its recorded arrival time (open loop) and
+ * run to completion.
+ */
+ReplayResult replayTrace(ssd::Ssd &ssd,
+                         const std::vector<ssd::HostRequest> &requests);
+
+}  // namespace cubessd::workload
+
+#endif  // CUBESSD_WORKLOAD_TRACE_H

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the per-chip operation scheduler and the channel
+ * occupancy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/nand/chip.h"
+#include "src/sim/event_queue.h"
+#include "src/ssd/channel.h"
+#include "src/ssd/chip_unit.h"
+
+namespace cubessd::ssd {
+namespace {
+
+class ChipUnitTest : public ::testing::Test
+{
+  protected:
+    ChipUnitTest()
+    {
+        nand::NandChipConfig config;
+        config.geometry.blocksPerChip = 4;
+        chip_ = std::make_unique<nand::NandChip>(config);
+        unit_ = std::make_unique<ChipUnit>(*chip_, channel_, queue_);
+    }
+
+    NandOp
+    eraseOp(std::uint32_t block, NandOpCallback cb)
+    {
+        NandOp op;
+        op.kind = NandOp::Kind::Erase;
+        op.block = block;
+        op.done = std::move(cb);
+        return op;
+    }
+
+    NandOp
+    programOp(const nand::WlAddr &wl, NandOpCallback cb)
+    {
+        NandOp op;
+        op.kind = NandOp::Kind::Program;
+        op.wl = wl;
+        op.tokens.assign(chip_->geometry().pagesPerWl, 1);
+        op.done = std::move(cb);
+        return op;
+    }
+
+    NandOp
+    readOp(const nand::PageAddr &page, NandOpCallback cb,
+           bool highPriority = false)
+    {
+        NandOp op;
+        op.kind = NandOp::Kind::Read;
+        op.page = page;
+        op.highPriority = highPriority;
+        op.done = std::move(cb);
+        return op;
+    }
+
+    sim::EventQueue queue_;
+    Channel channel_;
+    std::unique_ptr<nand::NandChip> chip_;
+    std::unique_ptr<ChipUnit> unit_;
+};
+
+TEST(Channel, ReservationsSerialize)
+{
+    Channel ch;
+    EXPECT_EQ(ch.reserve(0, 10), 0u);
+    EXPECT_EQ(ch.reserve(0, 10), 10u);   // bus busy: pushed back
+    EXPECT_EQ(ch.reserve(50, 10), 50u);  // idle gap respected
+    EXPECT_EQ(ch.busyTime(), 30u);
+    EXPECT_EQ(ch.freeAt(), 60u);
+}
+
+TEST_F(ChipUnitTest, OpsExecuteInFifoOrder)
+{
+    std::vector<int> order;
+    unit_->enqueue(eraseOp(0, [&](const NandOpResult &) {
+        order.push_back(0);
+    }));
+    unit_->enqueue(programOp({0, 0, 0}, [&](const NandOpResult &) {
+        order.push_back(1);
+    }));
+    unit_->enqueue(readOp({0, 0, 0, 0}, [&](const NandOpResult &) {
+        order.push_back(2);
+    }));
+    queue_.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(ChipUnitTest, HighPriorityJumpsQueue)
+{
+    std::vector<int> order;
+    // Pre-program a page to read, synchronously via ops.
+    unit_->enqueue(eraseOp(0, nullptr));
+    unit_->enqueue(programOp({0, 0, 0}, nullptr));
+    queue_.run();
+
+    // Busy op + two queued ops; the high-priority read runs first
+    // among the queued ones.
+    unit_->enqueue(eraseOp(1, [&](const NandOpResult &) {
+        order.push_back(0);
+    }));
+    unit_->enqueue(programOp({0, 0, 1}, [&](const NandOpResult &) {
+        order.push_back(1);
+    }));
+    unit_->enqueue(readOp({0, 0, 0, 0},
+                          [&](const NandOpResult &) {
+                              order.push_back(2);
+                          },
+                          /*highPriority=*/true));
+    queue_.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST_F(ChipUnitTest, TimesAreConsistent)
+{
+    NandOpResult eraseResult, programResult;
+    unit_->enqueue(eraseOp(0, [&](const NandOpResult &r) {
+        eraseResult = r;
+    }));
+    unit_->enqueue(programOp({0, 0, 0}, [&](const NandOpResult &r) {
+        programResult = r;
+    }));
+    queue_.run();
+    EXPECT_EQ(eraseResult.start, 0u);
+    EXPECT_EQ(eraseResult.end, chip_->timing().tErase);
+    // The program starts when the erase ends and lasts transfer+tPROG.
+    EXPECT_EQ(programResult.start, eraseResult.end);
+    const SimTime tx = chip_->timing().busTransferTime(
+        static_cast<std::uint64_t>(chip_->geometry().pageSizeBytes) *
+        chip_->geometry().pagesPerWl);
+    EXPECT_EQ(programResult.end,
+              programResult.start + tx + programResult.program.tProg);
+}
+
+TEST_F(ChipUnitTest, ReadIncludesBusTransfer)
+{
+    unit_->enqueue(eraseOp(0, nullptr));
+    unit_->enqueue(programOp({0, 0, 0}, nullptr));
+    NandOpResult readResult;
+    unit_->enqueue(readOp({0, 0, 0, 0}, [&](const NandOpResult &r) {
+        readResult = r;
+    }));
+    queue_.run();
+    const SimTime tx =
+        chip_->timing().busTransferTime(chip_->geometry().pageSizeBytes);
+    EXPECT_EQ(readResult.end,
+              readResult.start + readResult.read.tRead + tx);
+}
+
+TEST_F(ChipUnitTest, SharedChannelSerializesTransfers)
+{
+    // Two chips on one channel: their read transfers may not overlap.
+    nand::NandChipConfig config;
+    config.geometry.blocksPerChip = 4;
+    config.seed = 2;
+    nand::NandChip chip2(config);
+    ChipUnit unit2(chip2, channel_, queue_);
+
+    unit_->enqueue(eraseOp(0, nullptr));
+    unit_->enqueue(programOp({0, 0, 0}, nullptr));
+    NandOp e2;
+    e2.kind = NandOp::Kind::Erase;
+    e2.block = 0;
+    unit2.enqueue(std::move(e2));
+    NandOp p2;
+    p2.kind = NandOp::Kind::Program;
+    p2.wl = {0, 0, 0};
+    p2.tokens.assign(chip2.geometry().pagesPerWl, 1);
+    unit2.enqueue(std::move(p2));
+    queue_.run();
+
+    const SimTime busBefore = channel_.busyTime();
+    NandOpResult r1, r2;
+    unit_->enqueue(readOp({0, 0, 0, 0}, [&](const NandOpResult &r) {
+        r1 = r;
+    }));
+    NandOp read2;
+    read2.kind = NandOp::Kind::Read;
+    read2.page = {0, 0, 0, 0};
+    read2.done = [&](const NandOpResult &r) { r2 = r; };
+    unit2.enqueue(std::move(read2));
+    queue_.run();
+
+    const SimTime tx =
+        chip_->timing().busTransferTime(chip_->geometry().pageSizeBytes);
+    EXPECT_EQ(channel_.busyTime() - busBefore, 2 * tx);
+    // Both reads completed, at distinct transfer slots.
+    EXPECT_NE(r1.end, r2.end);
+}
+
+TEST_F(ChipUnitTest, IdleReflectsQueueState)
+{
+    EXPECT_TRUE(unit_->idle());
+    unit_->enqueue(eraseOp(0, nullptr));
+    EXPECT_FALSE(unit_->idle());
+    queue_.run();
+    EXPECT_TRUE(unit_->idle());
+}
+
+}  // namespace
+}  // namespace cubessd::ssd

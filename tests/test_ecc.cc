@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the ECC capability model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/ecc/ecc.h"
+
+namespace cubessd::ecc {
+namespace {
+
+TEST(Ecc, DefaultLimit)
+{
+    EccModel ecc;
+    // 88 bits over 1 KiB data, derated.
+    const double raw = 88.0 / (1024.0 * 8.0);
+    EXPECT_NEAR(ecc.limitBer(), raw * ecc.config().derating, 1e-12);
+}
+
+TEST(Ecc, VerdictThreshold)
+{
+    EccModel ecc;
+    EXPECT_TRUE(ecc.correctable(ecc.limitBer() * 0.99));
+    EXPECT_TRUE(ecc.correctable(ecc.limitBer()));
+    EXPECT_FALSE(ecc.correctable(ecc.limitBer() * 1.01));
+    EXPECT_TRUE(ecc.correctable(0.0));
+}
+
+TEST(Ecc, ExpectedErrors)
+{
+    EccModel ecc;
+    EXPECT_NEAR(ecc.expectedErrors(1e-3), 1e-3 * 8192.0, 1e-9);
+}
+
+TEST(Ecc, CodewordsPerPage)
+{
+    EccModel ecc;
+    EXPECT_EQ(ecc.codewordsPerPage(16 * 1024), 16u);
+    EXPECT_EQ(ecc.codewordsPerPage(16 * 1024 + 1), 17u);
+    EXPECT_EQ(ecc.codewordsPerPage(1), 1u);
+}
+
+TEST(Ecc, StrongerCodeHigherLimit)
+{
+    EccConfig weak;
+    weak.correctableBits = 40;
+    EccConfig strong;
+    strong.correctableBits = 120;
+    EXPECT_GT(EccModel(strong).limitBer(), EccModel(weak).limitBer());
+}
+
+TEST(Ecc, DecodeLatencyModes)
+{
+    EccModel ecc;
+    const double clean = ecc.hardLimitBer() * 0.5;
+    const double noisy = ecc.hardLimitBer() * 1.5;
+    // Clean pages: the hard decode hides inside the bus transfer.
+    EXPECT_EQ(ecc.decodeLatencyNs(clean, false), 0u);
+    EXPECT_EQ(ecc.decodeLatencyNs(clean, true), 0u);
+    // Noisy pages: the hint skips the doomed hard attempt.
+    EXPECT_EQ(ecc.decodeLatencyNs(noisy, false),
+              ecc.config().tHardDecodeNs + ecc.config().tSoftDecodeNs);
+    EXPECT_EQ(ecc.decodeLatencyNs(noisy, true),
+              ecc.config().tSoftDecodeNs);
+}
+
+TEST(Ecc, HardLimitBelowFullLimit)
+{
+    EccModel ecc;
+    EXPECT_LT(ecc.hardLimitBer(), ecc.limitBer());
+    EXPECT_GT(ecc.hardLimitBer(), 0.0);
+}
+
+TEST(EccDeathTest, ZeroCodeRejected)
+{
+    EccConfig bad;
+    bad.correctableBits = 0;
+    EXPECT_EXIT(EccModel{bad}, ::testing::ExitedWithCode(1),
+                "zero-sized");
+}
+
+}  // namespace
+}  // namespace cubessd::ecc

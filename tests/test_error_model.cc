@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit/property tests for the reliability model: monotonicity in all
+ * aging dimensions, the nonlinear layer divergence of Fig. 6, the
+ * window-shrink conversion (Fig. 11), and the over-program penalty
+ * (Fig. 8).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/nand/error_model.h"
+
+namespace cubessd::nand {
+namespace {
+
+class ErrorModelTest : public ::testing::Test
+{
+  protected:
+    ErrorModel model_{};
+};
+
+TEST_F(ErrorModelTest, SeverityEndpoints)
+{
+    EXPECT_DOUBLE_EQ(model_.severity({0, 0.0}), 0.0);
+    EXPECT_NEAR(model_.severity({2000, 12.0}), 1.0, 1e-9);
+}
+
+TEST_F(ErrorModelTest, SeverityMonotone)
+{
+    double prev = -1.0;
+    for (PeCycles pe : {0u, 500u, 1000u, 1500u, 2000u}) {
+        const double s = model_.severity({pe, 1.0});
+        EXPECT_GT(s, prev);
+        prev = s;
+    }
+}
+
+TEST_F(ErrorModelTest, BerMonotoneInPe)
+{
+    double prev = 0.0;
+    for (PeCycles pe : {0u, 250u, 500u, 1000u, 2000u}) {
+        const double ber = model_.normalizedBer(1.2, {pe, 1.0});
+        EXPECT_GT(ber, prev);
+        prev = ber;
+    }
+}
+
+TEST_F(ErrorModelTest, BerMonotoneInRetention)
+{
+    double prev = 0.0;
+    for (double t : {0.0, 0.5, 1.0, 3.0, 6.0, 12.0}) {
+        const double ber = model_.normalizedBer(1.2, {1000, t});
+        EXPECT_GT(ber, prev);
+        prev = ber;
+    }
+}
+
+TEST_F(ErrorModelTest, BerMonotoneInQuality)
+{
+    double prev = 0.0;
+    for (double q : {1.0, 1.1, 1.3, 1.6}) {
+        const double ber = model_.normalizedBer(q, {1000, 1.0});
+        EXPECT_GT(ber, prev);
+        prev = ber;
+    }
+}
+
+TEST_F(ErrorModelTest, FreshBestLayerNormalizedToOne)
+{
+    EXPECT_NEAR(model_.normalizedBer(1.0, {0, 0.0}), 1.0, 1e-9);
+    EXPECT_NEAR(model_.retentionBer(1.0, {0, 0.0}),
+                model_.params().baseBer, 1e-12);
+}
+
+TEST_F(ErrorModelTest, LayerDivergenceGrowsWithAging)
+{
+    // Fig. 6: DeltaV ~ q_max/q_min fresh, growing to ~2.3 at EOL+1yr.
+    const double qWorst = 1.6, qBest = 1.0;
+    const double freshRatio =
+        model_.normalizedBer(qWorst, {0, 0.0}) /
+        model_.normalizedBer(qBest, {0, 0.0});
+    const double eolRatio =
+        model_.normalizedBer(qWorst, {2000, 12.0}) /
+        model_.normalizedBer(qBest, {2000, 12.0});
+    EXPECT_NEAR(freshRatio, 1.6, 0.05);
+    EXPECT_GT(eolRatio, 2.0);
+    EXPECT_LT(eolRatio, 2.6);
+}
+
+TEST_F(ErrorModelTest, Ep1TracksTotal)
+{
+    const AgingState aging{1500, 6.0};
+    const double total = model_.normalizedBer(1.3, aging);
+    const double ep1 = model_.berEp1Norm(1.3, aging);
+    EXPECT_NEAR(ep1 / total, model_.params().ep1Fraction, 1e-9);
+    EXPECT_NEAR(model_.totalNormFromEp1(ep1), total, 1e-9);
+}
+
+TEST_F(ErrorModelTest, WindowShrinkIdentityAtZero)
+{
+    EXPECT_DOUBLE_EQ(model_.windowShrinkMultiplier(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(model_.windowShrinkMultiplier(-10.0), 1.0);
+}
+
+TEST_F(ErrorModelTest, WindowShrinkMonotone)
+{
+    double prev = 1.0;
+    for (double mv : {50.0, 100.0, 200.0, 400.0}) {
+        const double m = model_.windowShrinkMultiplier(mv);
+        EXPECT_GT(m, prev);
+        prev = m;
+    }
+}
+
+TEST_F(ErrorModelTest, SafeShrinkInvertsMultiplier)
+{
+    for (double mv : {40.0, 130.0, 320.0, 400.0}) {
+        const double mult = model_.windowShrinkMultiplier(mv);
+        EXPECT_NEAR(model_.safeWindowShrinkMv(mult), mv, 1e-6);
+    }
+    EXPECT_DOUBLE_EQ(model_.safeWindowShrinkMv(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(model_.safeWindowShrinkMv(0.5), 0.0);
+}
+
+TEST_F(ErrorModelTest, OverProgramPenaltyShape)
+{
+    // Fig. 8(a): no penalty within the safe count; growing with extra
+    // skips; higher states pay more for the same overshoot.
+    EXPECT_DOUBLE_EQ(model_.overProgramMultiplier(0, 4), 1.0);
+    EXPECT_DOUBLE_EQ(model_.overProgramMultiplier(-3, 4), 1.0);
+    double prev = 1.0;
+    for (int extra = 1; extra <= 5; ++extra) {
+        const double m = model_.overProgramMultiplier(extra, 4);
+        EXPECT_GT(m, prev);
+        prev = m;
+    }
+    EXPECT_GT(model_.overProgramMultiplier(2, 7),
+              model_.overProgramMultiplier(2, 1));
+}
+
+TEST_F(ErrorModelTest, RetentionProjectionRecoversQuality)
+{
+    // Measure at some condition, project to full retention: must match
+    // evaluating the true quality at full retention (chipFactor 1).
+    for (double q : {1.0, 1.2, 1.5}) {
+        for (AgingState aging :
+             {AgingState{0, 0.0}, {1000, 0.0}, {2000, 1.0}}) {
+            const double measured = model_.normalizedBer(q, aging);
+            const double projected =
+                model_.projectedRetentionNorm(measured, aging);
+            const double expected = model_.normalizedBer(
+                q, {aging.peCycles, model_.params().retEolMonths});
+            EXPECT_NEAR(projected, expected, expected * 1e-6)
+                << "q=" << q << " pe=" << aging.peCycles;
+        }
+    }
+}
+
+TEST_F(ErrorModelTest, ProjectionIsMonotoneInMeasurement)
+{
+    const AgingState aging{500, 0.0};
+    double prev = 0.0;
+    for (double m : {1.0, 2.0, 4.0, 8.0}) {
+        const double p = model_.projectedRetentionNorm(m, aging);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+}  // namespace
+}  // namespace cubessd::nand

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the discrete-event core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace cubessd::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    EXPECT_EQ(eq.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, EqualTimesAreFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NestedScheduling)
+{
+    EventQueue eq;
+    std::vector<SimTime> fireTimes;
+    eq.schedule(10, [&] {
+        fireTimes.push_back(eq.now());
+        eq.schedule(5, [&] { fireTimes.push_back(eq.now()); });
+    });
+    eq.run();
+    ASSERT_EQ(fireTimes.size(), 2u);
+    EXPECT_EQ(fireTimes[0], 10u);
+    EXPECT_EQ(fireTimes[1], 15u);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.step());
+    eq.schedule(1, [] {});
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.schedule(30, [&] { ++fired; });
+    EXPECT_EQ(eq.runUntil(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle)
+{
+    EventQueue eq;
+    eq.runUntil(100);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, ScheduleAtAbsoluteTime)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    SimTime seen = 0;
+    eq.scheduleAt(25, [&] { seen = eq.now(); });
+    eq.run();
+    EXPECT_EQ(seen, 25u);
+}
+
+TEST(EventQueue, ZeroDelayFiresAtNow)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    SimTime seen = 1;
+    eq.schedule(0, [&] { seen = eq.now(); });
+    eq.run();
+    EXPECT_EQ(seen, 10u);
+}
+
+TEST(EventQueueDeathTest, PastSchedulingPanics)
+{
+    EventQueue eq;
+    eq.schedule(50, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.scheduleAt(10, [] {}), "past");
+}
+
+}  // namespace
+}  // namespace cubessd::sim

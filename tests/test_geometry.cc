@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the 3D NAND geometry and address codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/nand/geometry.h"
+
+namespace cubessd::nand {
+namespace {
+
+TEST(Geometry, DerivedCountsDefaultConfig)
+{
+    NandGeometry g;  // paper defaults
+    EXPECT_EQ(g.wlsPerBlock(), 48u * 4u);
+    EXPECT_EQ(g.pagesPerBlock(), 48u * 4u * 3u);
+    EXPECT_EQ(g.pagesPerChip(), 428ull * 576ull);
+    EXPECT_TRUE(g.valid());
+}
+
+TEST(Geometry, InvalidOnZeroDimension)
+{
+    NandGeometry g;
+    g.wlsPerLayer = 0;
+    EXPECT_FALSE(g.valid());
+}
+
+TEST(AddressCodec, RoundTripsAllPagesOfSmallChip)
+{
+    NandGeometry g;
+    g.blocksPerChip = 3;
+    g.layersPerBlock = 4;
+    g.wlsPerLayer = 2;
+    g.pagesPerWl = 3;
+    AddressCodec codec(g);
+    for (std::uint64_t i = 0; i < g.pagesPerChip(); ++i) {
+        const PageAddr addr = codec.decode(i);
+        EXPECT_TRUE(codec.contains(addr));
+        EXPECT_EQ(codec.encode(addr), i);
+    }
+}
+
+TEST(AddressCodec, EncodeIsDenseAndOrdered)
+{
+    NandGeometry g;
+    AddressCodec codec(g);
+    // Page-major within WL, WL within layer, layer within block.
+    const PageAddr a{0, 0, 0, 0};
+    const PageAddr b{0, 0, 0, 1};
+    const PageAddr c{0, 0, 1, 0};
+    const PageAddr d{0, 1, 0, 0};
+    const PageAddr e{1, 0, 0, 0};
+    EXPECT_EQ(codec.encode(a) + 1, codec.encode(b));
+    EXPECT_EQ(codec.encode(c), codec.encode(a) + g.pagesPerWl);
+    EXPECT_EQ(codec.encode(d), codec.encode(a) + g.pagesPerLayer());
+    EXPECT_EQ(codec.encode(e), codec.encode(a) + g.pagesPerBlock());
+}
+
+TEST(AddressCodec, WlRoundTrip)
+{
+    NandGeometry g;
+    AddressCodec codec(g);
+    for (std::uint64_t i = 0; i < 500; ++i) {
+        const WlAddr addr = codec.decodeWl(i);
+        EXPECT_EQ(codec.encodeWl(addr), i);
+    }
+}
+
+TEST(AddressCodec, ContainsRejectsOutOfRange)
+{
+    NandGeometry g;
+    AddressCodec codec(g);
+    EXPECT_FALSE(codec.contains(PageAddr{g.blocksPerChip, 0, 0, 0}));
+    EXPECT_FALSE(codec.contains(PageAddr{0, g.layersPerBlock, 0, 0}));
+    EXPECT_FALSE(codec.contains(PageAddr{0, 0, g.wlsPerLayer, 0}));
+    EXPECT_FALSE(codec.contains(PageAddr{0, 0, 0, g.pagesPerWl}));
+    EXPECT_TRUE(codec.contains(PageAddr{0, 0, 0, 0}));
+}
+
+TEST(AddressCodec, PageAddrWlAddrConsistency)
+{
+    const PageAddr p{5, 7, 2, 1};
+    const WlAddr w = p.wlAddr();
+    EXPECT_EQ(w.block, 5u);
+    EXPECT_EQ(w.layer, 7u);
+    EXPECT_EQ(w.wl, 2u);
+}
+
+}  // namespace
+}  // namespace cubessd::nand

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Unit/property tests for the ISPP engine: Eq. (1)/(2) timing, loop
+ * windows, the safe skip plan (Sec. 4.1.1), window adjustment
+ * (Sec. 4.1.2), and the in-text calibration targets (~700 us default
+ * tPROG, ~16% VFY-skip saving, up to ~36% combined).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/nand/error_model.h"
+#include "src/nand/ispp.h"
+
+namespace cubessd::nand {
+namespace {
+
+class IsppTest : public ::testing::Test
+{
+  protected:
+    IsppConfig config_{};
+    ErrorModel errors_{};
+    IsppEngine engine_{config_, errors_};
+    Rng rng_{1234};
+    AgingState fresh_{0, 0.0};
+};
+
+TEST_F(IsppTest, StateLoopsOrderedAndWithinWindow)
+{
+    const auto loops = engine_.stateLoops(0.0, 1.0, fresh_, 0);
+    int prevMin = 0;
+    for (int s = 0; s < kTlcStates; ++s) {
+        const auto &w = loops[static_cast<std::size_t>(s)];
+        EXPECT_GE(w.lMin, 1);
+        EXPECT_LE(w.lMin, w.lMax);
+        EXPECT_GE(w.lMin, prevMin);  // higher states arrive later
+        prevMin = w.lMin;
+    }
+    EXPECT_LE(loops[kTlcStates - 1].lMax, config_.maxLoops());
+}
+
+TEST_F(IsppTest, DefaultTprogNearNominal700us)
+{
+    const auto r = engine_.program(1.0, 0.0, fresh_, 1.0,
+                                   ProgramCommand{}, rng_);
+    EXPECT_NEAR(static_cast<double>(r.tProg), 700e3, 25e3);  // ns
+    EXPECT_EQ(r.verifiesSkipped, 0);
+    EXPECT_FALSE(r.truncated);
+    EXPECT_DOUBLE_EQ(r.berMultiplier, 1.0);
+}
+
+TEST_F(IsppTest, TprogMatchesLoopAccounting)
+{
+    const auto r = engine_.program(1.2, 5.0, fresh_, 1.0,
+                                   ProgramCommand{}, rng_);
+    const SimTime expected =
+        static_cast<SimTime>(r.loopsUsed) * config_.tPgm +
+        static_cast<SimTime>(r.verifiesDone) * config_.tVfy;
+    EXPECT_EQ(r.tProg, expected);  // Eq. (1)
+}
+
+TEST_F(IsppTest, DefaultVerifiesEveryLoopPerActiveState)
+{
+    // Default behaviour (Fig. 3): state s verified on loops 1..Lmax(s).
+    const auto r = engine_.program(1.0, 0.0, fresh_, 1.0,
+                                   ProgramCommand{}, rng_);
+    int expected = 0;
+    for (const auto &w : r.loops)
+        expected += std::min(w.lMax, r.loopsUsed);
+    EXPECT_EQ(r.verifiesDone, expected);
+}
+
+TEST_F(IsppTest, SafeSkipPlanSkipsToLmin)
+{
+    const auto loops = engine_.stateLoops(0.0, 1.0, fresh_, 0);
+    const auto plan = IsppEngine::safeSkipPlan(loops);
+    for (int s = 0; s < kTlcStates; ++s) {
+        EXPECT_EQ(plan[static_cast<std::size_t>(s)],
+                  loops[static_cast<std::size_t>(s)].lMin - 1);
+    }
+}
+
+TEST_F(IsppTest, SafeSkipSavesAround16Percent)
+{
+    // Sec. 4.1.1: skipped VFYs alone cut average tPROG by ~16.2%.
+    const auto leader = engine_.program(1.0, 0.0, fresh_, 1.0,
+                                        ProgramCommand{}, rng_);
+    ProgramCommand cmd;
+    cmd.useSkipPlan = true;
+    cmd.skipVfy = IsppEngine::safeSkipPlan(leader.loops);
+    const auto follower =
+        engine_.program(1.0, 0.0, fresh_, 1.0, cmd, rng_);
+    const double cut =
+        1.0 - static_cast<double>(follower.tProg) /
+                  static_cast<double>(leader.tProg);
+    EXPECT_GT(cut, 0.12);
+    EXPECT_LT(cut, 0.20);
+    EXPECT_NEAR(follower.berMultiplier, 1.0, 0.02);  // safe: no cost
+}
+
+TEST_F(IsppTest, WindowShrinkReducesLoops)
+{
+    ProgramCommand cmd;
+    cmd.vStartAdjMv = 180;
+    cmd.vFinalAdjMv = 120;
+    const auto base = engine_.program(1.0, 0.0, fresh_, 1.0,
+                                      ProgramCommand{}, rng_);
+    const auto adjusted = engine_.program(1.0, 0.0, fresh_, 1.0, cmd,
+                                          rng_);
+    EXPECT_LT(adjusted.loopsUsed, base.loopsUsed);
+    EXPECT_LT(adjusted.tProg, base.tProg);
+    EXPECT_GT(adjusted.berMultiplier, 1.0);  // margin was spent
+}
+
+TEST_F(IsppTest, CombinedFollowerCutUpTo36Percent)
+{
+    // Sec. 6.1: follower tPROG shortened by up to 35.9%.
+    const auto leader = engine_.program(1.0, 0.0, fresh_, 1.0,
+                                        ProgramCommand{}, rng_);
+    ProgramCommand cmd;
+    cmd.vStartAdjMv = 180;
+    cmd.vFinalAdjMv = 120;
+    cmd.useSkipPlan = true;
+    const int shift = (cmd.vStartAdjMv + config_.deltaVMv - 1) /
+                      config_.deltaVMv;
+    cmd.skipVfy = IsppEngine::safeSkipPlan(leader.loops);
+    for (auto &s : cmd.skipVfy)
+        s = std::max(0, s - shift);
+    const auto follower =
+        engine_.program(1.0, 0.0, fresh_, 1.0, cmd, rng_);
+    const double cut =
+        1.0 - static_cast<double>(follower.tProg) /
+                  static_cast<double>(leader.tProg);
+    EXPECT_GT(cut, 0.25);
+    EXPECT_LT(cut, 0.42);
+}
+
+TEST_F(IsppTest, OverSkippingRaisesBer)
+{
+    // Fig. 8(a): skipping beyond the safe count over-programs.
+    const auto leader = engine_.program(1.0, 0.0, fresh_, 1.0,
+                                        ProgramCommand{}, rng_);
+    ProgramCommand cmd;
+    cmd.useSkipPlan = true;
+    cmd.skipVfy = IsppEngine::safeSkipPlan(leader.loops);
+    for (auto &s : cmd.skipVfy)
+        s += 3;  // unsafe
+    const auto r = engine_.program(1.0, 0.0, fresh_, 1.0, cmd, rng_);
+    EXPECT_GT(r.berMultiplier, 1.3);
+}
+
+TEST_F(IsppTest, TruncationFlaggedWhenWindowTooTight)
+{
+    ProgramCommand cmd;
+    cmd.vFinalAdjMv = 600;  // far below what the slowest cells need
+    const auto r = engine_.program(1.0, 0.0, fresh_, 1.0, cmd, rng_);
+    EXPECT_TRUE(r.truncated);
+}
+
+TEST_F(IsppTest, AgingSlowsBadLayers)
+{
+    // sigma growth + speed loss: an aged worst-layer WL takes longer.
+    const AgingState eol{2000, 12.0};
+    const auto fresh = engine_.program(1.6, 48.0, fresh_, 1.0,
+                                       ProgramCommand{}, rng_);
+    const auto aged = engine_.program(1.6, 48.0, eol, 1.0,
+                                      ProgramCommand{}, rng_);
+    EXPECT_GE(aged.loopsUsed, fresh.loopsUsed);
+}
+
+TEST_F(IsppTest, FasterWlNeedsFewerLoops)
+{
+    const auto slow = engine_.stateLoops(0.0, 1.0, fresh_, 0);
+    const auto fast = engine_.stateLoops(150.0, 1.0, fresh_, 0);
+    EXPECT_LT(fast[kTlcStates - 1].lMax, slow[kTlcStates - 1].lMax);
+}
+
+TEST_F(IsppTest, BerEp1ReflectsQualityAndAging)
+{
+    const auto good = engine_.program(1.0, 0.0, fresh_, 1.0,
+                                      ProgramCommand{}, rng_);
+    const auto bad = engine_.program(
+        1.6, 0.0, AgingState{2000, 1.0}, 1.0, ProgramCommand{}, rng_);
+    EXPECT_GT(bad.berEp1Norm, good.berEp1Norm);
+}
+
+TEST(IsppMlc, ThreeStateConfigWorks)
+{
+    // 2-bit MLC: 3 program states (paper Fig. 3's example).
+    nand::IsppConfig config;
+    config.programStates = 3;
+    config.windowMv = 1050;
+    config.deltaVMv = 150;
+    config.firstStateOffsetMv = 350;
+    config.stateSpacingMv = 300;
+    config.cellSigmaMv = 30.0;
+    ErrorModel errors;
+    IsppEngine engine(config, errors);
+    Rng rng(5);
+    const auto r = engine.program(1.0, 0.0, {0, 0.0}, 1.0,
+                                  ProgramCommand{}, rng);
+    EXPECT_EQ(r.loopsUsed, 7);
+    EXPECT_EQ(r.verifiesDone, 15);  // 3+3+3+2+2+1+1
+    // Unused state slots stay at their defaults.
+    for (int s = 3; s < kTlcStates; ++s)
+        EXPECT_EQ(r.loops[static_cast<std::size_t>(s)].lMax, 1);
+}
+
+TEST(IsppMlc, DefaultVerifyScheduleMatchesFig3)
+{
+    nand::IsppConfig config;
+    config.programStates = 3;
+    config.windowMv = 1050;
+    config.deltaVMv = 150;
+    config.firstStateOffsetMv = 350;
+    config.stateSpacingMv = 300;
+    config.cellSigmaMv = 30.0;
+    ErrorModel errors;
+    IsppEngine engine(config, errors);
+    const auto loops = engine.stateLoops(0.0, 1.0, {0, 0.0}, 0);
+    const auto schedule = engine.defaultVerifySchedule(loops);
+    EXPECT_EQ(schedule, (std::vector<int>{3, 3, 3, 2, 2, 1, 1}));
+}
+
+TEST(IsppMlc, ScheduleIsNonIncreasing)
+{
+    // k_i can only shrink as states complete, for any state count.
+    for (int states : {1, 3, 7}) {
+        nand::IsppConfig config;
+        config.programStates = states;
+        ErrorModel errors;
+        IsppEngine engine(config, errors);
+        const auto loops = engine.stateLoops(10.0, 1.2, {500, 1.0}, 0);
+        const auto schedule = engine.defaultVerifySchedule(loops);
+        for (std::size_t i = 1; i < schedule.size(); ++i)
+            EXPECT_LE(schedule[i], schedule[i - 1]);
+        EXPECT_EQ(schedule.front(), states);
+    }
+}
+
+TEST(IsppMlcDeathTest, BadStateCountRejected)
+{
+    nand::IsppConfig config;
+    config.programStates = 9;
+    ErrorModel errors;
+    EXPECT_EXIT(IsppEngine(config, errors),
+                ::testing::ExitedWithCode(1), "programStates");
+}
+
+/** Property sweep: the safe skip plan never costs BER, for any layer
+ *  quality and wear. */
+class IsppSafetyProperty
+    : public ::testing::TestWithParam<std::tuple<double, PeCycles>>
+{
+};
+
+TEST_P(IsppSafetyProperty, SafeSkipPlanIsAlwaysSafe)
+{
+    const auto [q, pe] = GetParam();
+    IsppConfig config;
+    ErrorModel errors;
+    IsppEngine engine(config, errors);
+    Rng rng(77);
+    const AgingState aging{pe, 0.5};
+    const double speed = 80.0 * (q - 1.0);
+
+    const auto leader =
+        engine.program(q, speed, aging, 1.0, ProgramCommand{}, rng);
+    ProgramCommand cmd;
+    cmd.useSkipPlan = true;
+    cmd.skipVfy = IsppEngine::safeSkipPlan(leader.loops);
+    // Many followers: per-op jitter may shift a loop boundary once in
+    // a while, but the typical follower must be penalty-free.
+    int clean = 0;
+    for (int i = 0; i < 50; ++i) {
+        const auto f = engine.program(q, speed, aging, 1.0, cmd, rng);
+        clean += f.berMultiplier < 1.05;
+        EXPECT_LT(f.tProg, leader.tProg);
+    }
+    EXPECT_GE(clean, 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QualityWearSweep, IsppSafetyProperty,
+    ::testing::Combine(::testing::Values(1.0, 1.15, 1.35, 1.6),
+                       ::testing::Values(0u, 1000u, 2000u)));
+
+}  // namespace
+}  // namespace cubessd::nand

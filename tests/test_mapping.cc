@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Unit tests for the L2P mapping table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/ftl/mapping.h"
+
+namespace cubessd::ftl {
+namespace {
+
+TEST(Mapping, StartsUnmapped)
+{
+    MappingTable map(100);
+    for (Lba l = 0; l < 100; ++l) {
+        EXPECT_EQ(map.lookup(l), kInvalidPpa);
+        EXPECT_EQ(map.mappedVersion(l), 0u);
+    }
+    EXPECT_EQ(map.mappedCount(), 0u);
+}
+
+TEST(Mapping, MapReturnsOldPpa)
+{
+    MappingTable map(10);
+    EXPECT_EQ(map.map(3, 777, 1), kInvalidPpa);
+    EXPECT_EQ(map.lookup(3), 777u);
+    EXPECT_EQ(map.mappedVersion(3), 1u);
+    EXPECT_EQ(map.map(3, 888, 2), 777u);
+    EXPECT_EQ(map.lookup(3), 888u);
+    EXPECT_EQ(map.mappedVersion(3), 2u);
+}
+
+TEST(Mapping, MappedCountTracksFirstMapping)
+{
+    MappingTable map(10);
+    map.map(1, 100, 1);
+    map.map(1, 200, 2);
+    map.map(2, 300, 3);
+    EXPECT_EQ(map.mappedCount(), 2u);
+}
+
+TEST(MappingDeathTest, OutOfRangePanics)
+{
+    MappingTable map(10);
+    EXPECT_DEATH(map.lookup(10), "out of range");
+    EXPECT_DEATH(map.map(11, 0, 1), "out of range");
+}
+
+}  // namespace
+}  // namespace cubessd::ftl

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the reporting helpers and logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/metrics/report.h"
+
+namespace cubessd::metrics {
+namespace {
+
+TEST(Format, Fixed)
+{
+    EXPECT_EQ(format(1.23456, 3), "1.235");
+    EXPECT_EQ(format(2.0, 0), "2");
+    EXPECT_EQ(format(-0.5, 1), "-0.5");
+}
+
+TEST(Format, Percent)
+{
+    EXPECT_EQ(formatPercent(0.162), "16.2%");
+    EXPECT_EQ(formatPercent(1.0, 0), "100%");
+    EXPECT_EQ(formatPercent(-0.05), "-5.0%");
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"longer-name", "22"});
+    std::ostringstream out;
+    t.print(out);
+    const std::string s = out.str();
+    // Header, separator, and both rows present.
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("---"), std::string::npos);
+    EXPECT_NE(s.find("longer-name"), std::string::npos);
+    // All data lines are equal width up to the last column start.
+    const auto posA = s.find("\n  a");
+    const auto posB = s.find("\n  longer-name");
+    ASSERT_NE(posA, std::string::npos);
+    ASSERT_NE(posB, std::string::npos);
+}
+
+TEST(TableDeathTest, RowWidthMismatchFatal)
+{
+    Table t({"a", "b"});
+    EXPECT_EXIT(t.row({"only-one"}), ::testing::ExitedWithCode(1),
+                "cells");
+}
+
+TEST(PaperComparisonTest, PrintsExperimentHeader)
+{
+    PaperComparison cmp("Fig. X (test)");
+    cmp.add("some metric", "42", "41", "close");
+    std::ostringstream out;
+    cmp.print(out);
+    const std::string s = out.str();
+    EXPECT_NE(s.find("paper vs measured: Fig. X (test)"),
+              std::string::npos);
+    EXPECT_NE(s.find("some metric"), std::string::npos);
+    EXPECT_NE(s.find("close"), std::string::npos);
+}
+
+TEST(PrintCdf, TwoColumns)
+{
+    std::ostringstream out;
+    printCdf(out, "title", {{1.0, 0.5}, {2.0, 1.0}});
+    const std::string s = out.str();
+    EXPECT_NE(s.find("title"), std::string::npos);
+    EXPECT_NE(s.find("0.5000"), std::string::npos);
+}
+
+TEST(Logging, LevelFiltering)
+{
+    const LogLevel old = logLevel();
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    // Suppressed levels must not crash (output goes to stdout/stderr).
+    logf(LogLevel::Debug, "suppressed %d", 1);
+    logf(LogLevel::Error, "emitted %d", 2);
+    setLogLevel(old);
+}
+
+}  // namespace
+}  // namespace cubessd::metrics

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the Optimal Parameter Manager: derivation of follower
+ * parameters from leader monitoring, margin projection, and the
+ * safety check (Sec. 4.1.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/ecc/ecc.h"
+#include "src/ftl/opm.h"
+#include "src/nand/ispp.h"
+
+namespace cubessd::ftl {
+namespace {
+
+class OpmTest : public ::testing::Test
+{
+  protected:
+    nand::IsppConfig ispp_{};
+    nand::ErrorModel errors_{};
+    ecc::EccModel ecc_{};
+    Opm opm_{OpmConfig{}, errors_, ecc_, nand::IsppConfig{}.deltaVMv};
+    nand::IsppEngine engine_{ispp_, errors_};
+    Rng rng_{321};
+
+    nand::WlProgramResult
+    leaderAt(double q, const nand::AgingState &aging)
+    {
+        const double speed = 80.0 * (q - 1.0);
+        return engine_.program(q, speed, aging, 1.0,
+                               nand::ProgramCommand{}, rng_);
+    }
+};
+
+TEST_F(OpmTest, FreshLeaderGetsCappedAdjustment)
+{
+    const nand::AgingState fresh{0, 0.0};
+    const auto params = opm_.derive(leaderAt(1.0, fresh), fresh);
+    EXPECT_TRUE(params.valid);
+    // Fresh chips have enormous margin: the physical cap binds.
+    EXPECT_EQ(params.vStartAdjMv + params.vFinalAdjMv,
+              OpmConfig{}.maxShrinkMv);
+    EXPECT_GT(params.vStartAdjMv, 0);
+    EXPECT_GT(params.vFinalAdjMv, 0);
+}
+
+TEST_F(OpmTest, AdjustmentRespectsGranularity)
+{
+    const nand::AgingState fresh{0, 0.0};
+    const auto params = opm_.derive(leaderAt(1.2, fresh), fresh);
+    EXPECT_EQ(params.vStartAdjMv % OpmConfig{}.granularityMv, 0);
+    EXPECT_EQ(params.vFinalAdjMv % OpmConfig{}.granularityMv, 0);
+}
+
+TEST_F(OpmTest, WornWorstLayerGetsNoAdjustment)
+{
+    // Paper Fig. 9: at end of life the worst layer has no spare
+    // margin, so V_Start/V_Final stay at defaults.
+    const nand::AgingState eol{2000, 1.0};
+    const auto params = opm_.derive(leaderAt(1.6, eol), eol);
+    EXPECT_EQ(params.vStartAdjMv + params.vFinalAdjMv, 0);
+}
+
+TEST_F(OpmTest, AdjustmentShrinksWithWear)
+{
+    // The S_M-driven adaptivity: the same layer earns progressively
+    // smaller adjustments as the block wears out.
+    const nand::AgingState fresh{0, 0.0};
+    const nand::AgingState mid{1200, 0.0};
+    const nand::AgingState eol{2000, 0.5};
+    const auto pFresh = opm_.derive(leaderAt(1.25, fresh), fresh);
+    const auto pMid = opm_.derive(leaderAt(1.25, mid), mid);
+    const auto pEol = opm_.derive(leaderAt(1.25, eol), eol);
+    EXPECT_GE(pFresh.totalAdjustMv(), pMid.totalAdjustMv());
+    EXPECT_GE(pMid.totalAdjustMv(), pEol.totalAdjustMv());
+    EXPECT_GT(pFresh.totalAdjustMv(), pEol.totalAdjustMv());
+}
+
+TEST_F(OpmTest, BetterLayersEarnMoreAtEol)
+{
+    const nand::AgingState eol{2000, 0.5};
+    const auto good = opm_.derive(leaderAt(1.0, eol), eol);
+    const auto bad = opm_.derive(leaderAt(1.6, eol), eol);
+    EXPECT_GT(good.totalAdjustMv(), bad.totalAdjustMv());
+}
+
+TEST_F(OpmTest, SkipPlanShiftedByVStart)
+{
+    const nand::AgingState fresh{0, 0.0};
+    const auto leader = leaderAt(1.0, fresh);
+    const auto params = opm_.derive(leader, fresh);
+    const auto unshifted = nand::IsppEngine::safeSkipPlan(leader.loops);
+    const int shift =
+        (params.vStartAdjMv + ispp_.deltaVMv - 1) / ispp_.deltaVMv;
+    for (int s = 0; s < nand::kTlcStates; ++s) {
+        EXPECT_EQ(params.skipPlan[static_cast<std::size_t>(s)],
+                  std::max(0, unshifted[static_cast<std::size_t>(s)] -
+                                  shift));
+    }
+}
+
+TEST_F(OpmTest, FollowerCommandCarriesEverything)
+{
+    const nand::AgingState fresh{0, 0.0};
+    const auto params = opm_.derive(leaderAt(1.1, fresh), fresh);
+    const auto cmd = params.followerCommand();
+    EXPECT_TRUE(cmd.useSkipPlan);
+    EXPECT_EQ(cmd.vStartAdjMv, params.vStartAdjMv);
+    EXPECT_EQ(cmd.vFinalAdjMv, params.vFinalAdjMv);
+    EXPECT_TRUE(cmd.nonDefault());
+}
+
+TEST_F(OpmTest, FollowerWithinExpectationPassesSafetyCheck)
+{
+    const nand::AgingState fresh{0, 0.0};
+    const auto leader = leaderAt(1.05, fresh);
+    const auto params = opm_.derive(leader, fresh);
+    const auto follower = engine_.program(
+        1.05, 80.0 * 0.05, fresh, 1.0, params.followerCommand(), rng_);
+    EXPECT_FALSE(opm_.needsReprogram(params, follower));
+}
+
+TEST_F(OpmTest, WildlyDeviantFollowerFailsSafetyCheck)
+{
+    const nand::AgingState fresh{0, 0.0};
+    const auto leader = leaderAt(1.05, fresh);
+    const auto params = opm_.derive(leader, fresh);
+    nand::WlProgramResult bogus;
+    bogus.berMultiplier = params.expectedMultiplier * 3.0;
+    EXPECT_TRUE(opm_.needsReprogram(params, bogus));
+}
+
+TEST(OpmConfigTest, TighterGuardSmallerAdjustment)
+{
+    nand::ErrorModel errors;
+    ecc::EccModel ecc;
+    nand::IsppConfig ispp;
+    nand::IsppEngine engine(ispp, errors);
+    Rng rng(5);
+    const nand::AgingState mid{2000, 0.0};
+    const auto leader = engine.program(1.2, 16.0, mid, 1.0,
+                                       nand::ProgramCommand{}, rng);
+    OpmConfig loose;
+    loose.marginGuard = 0.9;
+    OpmConfig tight;
+    tight.marginGuard = 0.2;
+    Opm a(loose, errors, ecc, ispp.deltaVMv);
+    Opm b(tight, errors, ecc, ispp.deltaVMv);
+    EXPECT_GE(a.derive(leader, mid).totalAdjustMv(),
+              b.derive(leader, mid).totalAdjustMv());
+}
+
+}  // namespace
+}  // namespace cubessd::ftl

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the optimal read-reference table (ORT).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/ftl/ort.h"
+
+namespace cubessd::ftl {
+namespace {
+
+TEST(Ort, StartsAtDefault)
+{
+    Ort ort(2, 4, 8);
+    for (std::uint32_t c = 0; c < 2; ++c)
+        for (std::uint32_t b = 0; b < 4; ++b)
+            for (std::uint32_t l = 0; l < 8; ++l)
+                EXPECT_EQ(ort.lookup(c, b, l), 0);
+}
+
+TEST(Ort, UpdateThenLookup)
+{
+    Ort ort(2, 4, 8);
+    ort.update(1, 2, 3, 90);
+    EXPECT_EQ(ort.lookup(1, 2, 3), 90);
+    EXPECT_EQ(ort.lookup(1, 2, 4), 0);  // neighbours untouched
+    EXPECT_EQ(ort.lookup(0, 2, 3), 0);
+}
+
+TEST(Ort, ResetBlockClearsAllLayers)
+{
+    Ort ort(1, 4, 8);
+    for (std::uint32_t l = 0; l < 8; ++l)
+        ort.update(0, 1, l, 60);
+    ort.update(0, 2, 0, 30);
+    ort.resetBlock(0, 1);
+    for (std::uint32_t l = 0; l < 8; ++l)
+        EXPECT_EQ(ort.lookup(0, 1, l), 0);
+    EXPECT_EQ(ort.lookup(0, 2, 0), 30);  // other blocks keep entries
+}
+
+TEST(Ort, TwoBytesPerHLayer)
+{
+    // The paper's space-overhead claim (Sec. 5.1): 2 bytes per
+    // h-layer. Check both a small table and the paper's evaluation
+    // configuration (8 chips x 428 blocks x 48 layers).
+    Ort small(1, 2, 3);
+    EXPECT_EQ(small.bytes(), 1u * 2u * 3u * 2u);
+    Ort paper(8, 428, 48);
+    EXPECT_EQ(paper.bytes(), 8u * 428u * 48u * 2u);
+    // ~0.3 MB to serve a ~30 GB SSD: ~0.001% as the paper computes.
+    EXPECT_LT(paper.bytes(), 1u << 20);
+}
+
+TEST(Ort, ClampsToInt16)
+{
+    Ort ort(1, 1, 1);
+    ort.update(0, 0, 0, 1 << 20);
+    EXPECT_EQ(ort.lookup(0, 0, 0), 32767);
+    ort.update(0, 0, 0, -(1 << 20));
+    EXPECT_EQ(ort.lookup(0, 0, 0), -32768);
+}
+
+TEST(Ort, CountsHitsAndUpdates)
+{
+    Ort ort(1, 2, 2);
+    ort.lookup(0, 0, 0);  // default: not a hit
+    EXPECT_EQ(ort.hits(), 0u);
+    ort.update(0, 0, 0, 30);
+    ort.lookup(0, 0, 0);
+    EXPECT_EQ(ort.hits(), 1u);
+    EXPECT_EQ(ort.updates(), 1u);
+}
+
+TEST(OrtDeathTest, OutOfRangePanics)
+{
+    Ort ort(1, 2, 2);
+    EXPECT_DEATH(ort.lookup(1, 0, 0), "out of range");
+    EXPECT_DEATH(ort.update(0, 2, 0, 1), "out of range");
+}
+
+}  // namespace
+}  // namespace cubessd::ftl

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit/property tests for the process model — the paper's two key
+ * findings are encoded as invariants here:
+ *
+ *  - horizontal intra-layer similarity: WLs of one h-layer agree to
+ *    RTN precision (DeltaH ~= 1, Fig. 5);
+ *  - vertical inter-layer variability: layers differ substantially
+ *    (DeltaV ~ 1.6 fresh, Fig. 6), with edge and bottom layers worst.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/nand/process_model.h"
+
+namespace cubessd::nand {
+namespace {
+
+class ProcessModelTest : public ::testing::Test
+{
+  protected:
+    NandGeometry geom_;
+    ProcessParams params_;
+    ProcessModel model_{geom_, params_, 99};
+};
+
+TEST_F(ProcessModelTest, Deterministic)
+{
+    ProcessModel other(geom_, params_, 99);
+    for (std::uint32_t l = 0; l < geom_.layersPerBlock; ++l)
+        EXPECT_DOUBLE_EQ(model_.layerQuality(3, l),
+                         other.layerQuality(3, l));
+}
+
+TEST_F(ProcessModelTest, DifferentSeedsAreDifferentChips)
+{
+    ProcessModel other(geom_, params_, 100);
+    EXPECT_NE(model_.chipFactor(), other.chipFactor());
+}
+
+TEST_F(ProcessModelTest, QualityAtLeastOne)
+{
+    for (std::uint32_t b = 0; b < geom_.blocksPerChip; b += 37) {
+        for (std::uint32_t l = 0; l < geom_.layersPerBlock; ++l)
+            EXPECT_GE(model_.layerQuality(b, l), 1.0);
+    }
+}
+
+TEST_F(ProcessModelTest, IntraLayerSimilarity)
+{
+    // The WLs of one h-layer must agree to well under 3% (the paper's
+    // RTN bound), across many blocks and layers.
+    for (std::uint32_t b = 0; b < geom_.blocksPerChip; b += 17) {
+        for (std::uint32_t l = 0; l < geom_.layersPerBlock; l += 5) {
+            double lo = 1e30, hi = 0.0;
+            for (std::uint32_t w = 0; w < geom_.wlsPerLayer; ++w) {
+                const double q = model_.wlQuality(WlAddr{b, l, w});
+                lo = std::min(lo, q);
+                hi = std::max(hi, q);
+            }
+            EXPECT_LT(hi / lo, 1.03)
+                << "block " << b << " layer " << l;
+        }
+    }
+}
+
+TEST_F(ProcessModelTest, InterLayerVariability)
+{
+    // DeltaV well above 1 on every block: layers genuinely differ.
+    for (std::uint32_t b = 0; b < geom_.blocksPerChip; b += 31) {
+        double lo = 1e30, hi = 0.0;
+        for (std::uint32_t l = 0; l < geom_.layersPerBlock; ++l) {
+            const double q = model_.layerQuality(b, l);
+            lo = std::min(lo, q);
+            hi = std::max(hi, q);
+        }
+        EXPECT_GT(hi / lo, 1.3) << "block " << b;
+        EXPECT_LT(hi / lo, 2.5) << "block " << b;
+    }
+}
+
+TEST_F(ProcessModelTest, RepresentativeLayerOrdering)
+{
+    const std::uint32_t b = 0;
+    const double beta = model_.layerQuality(b, model_.layerBeta());
+    const double alpha = model_.layerQuality(b, model_.layerAlpha());
+    const double kappa = model_.layerQuality(b, model_.layerKappa());
+    const double omega = model_.layerQuality(b, model_.layerOmega());
+    // Beta is the best layer; edges and the bottom band are worse.
+    EXPECT_LT(beta, alpha);
+    EXPECT_LT(beta, kappa);
+    EXPECT_LT(beta, omega);
+    // The bottom edge compounds taper + distortion + edge penalty.
+    EXPECT_GT(omega, alpha);
+}
+
+TEST_F(ProcessModelTest, EdgeLayersPenalized)
+{
+    const std::uint32_t b = 2;
+    const double top = model_.layerQuality(b, geom_.layersPerBlock - 1);
+    const double nextToTop =
+        model_.layerQuality(b, geom_.layersPerBlock - 2);
+    EXPECT_GT(top, nextToTop);  // Fig. 5: block-edge layers high BER
+}
+
+TEST_F(ProcessModelTest, BottomLayersWorseThanTopHalf)
+{
+    const std::uint32_t b = 1;
+    // Averages: the bottom quarter (excluding the edge) must be worse
+    // than the top quarter (excluding the edge) - etch taper.
+    double bottom = 0.0, top = 0.0;
+    const std::uint32_t quarter = geom_.layersPerBlock / 4;
+    for (std::uint32_t i = 1; i <= quarter; ++i) {
+        bottom += model_.layerQuality(b, i);
+        top += model_.layerQuality(b, geom_.layersPerBlock - 1 - i);
+    }
+    EXPECT_GT(bottom, top);
+}
+
+TEST_F(ProcessModelTest, BlockSeverityVariesAcrossBlocks)
+{
+    double lo = 1e30, hi = 0.0;
+    for (std::uint32_t b = 0; b < geom_.blocksPerChip; ++b) {
+        lo = std::min(lo, model_.blockSeverity(b));
+        hi = std::max(hi, model_.blockSeverity(b));
+    }
+    EXPECT_GT(hi / lo, 1.2);  // per-block variation exists (Fig. 6(d))
+    EXPECT_LT(hi / lo, 3.0);  // ...but is bounded
+}
+
+TEST_F(ProcessModelTest, ProgramSpeedSharedWithinLayer)
+{
+    // tPROG equality within an h-layer (Fig. 5(d)) requires the mean
+    // program speed to agree within a few mV.
+    for (std::uint32_t l = 0; l < geom_.layersPerBlock; l += 7) {
+        const double s0 = model_.programSpeedMv(WlAddr{5, l, 0});
+        for (std::uint32_t w = 1; w < geom_.wlsPerLayer; ++w) {
+            const double sw = model_.programSpeedMv(WlAddr{5, l, w});
+            EXPECT_NEAR(sw, s0, 10.0);
+        }
+    }
+}
+
+TEST_F(ProcessModelTest, WorseLayersProgramFaster)
+{
+    // Narrow channel holes concentrate the field: the worst layer has
+    // a larger speed boost than the best layer.
+    const double worst =
+        model_.programSpeedMv(WlAddr{0, model_.layerOmega(), 0});
+    const double best =
+        model_.programSpeedMv(WlAddr{0, model_.layerBeta(), 0});
+    EXPECT_GT(worst, best);
+}
+
+TEST(ProcessModelParam, TinyGeometrySupported)
+{
+    NandGeometry g;
+    g.blocksPerChip = 2;
+    g.layersPerBlock = 2;
+    g.wlsPerLayer = 1;
+    ProcessModel m(g, ProcessParams{}, 5);
+    EXPECT_GE(m.layerQuality(0, 0), 1.0);
+    EXPECT_GE(m.layerQuality(1, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace cubessd::nand

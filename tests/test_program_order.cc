@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the program orders (Fig. 12): each sequence is a
+ * permutation of all WLs, and each has the promised leader/follower
+ * structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/ftl/program_order.h"
+
+namespace cubessd::ftl {
+namespace {
+
+nand::NandGeometry
+geom()
+{
+    nand::NandGeometry g;
+    g.blocksPerChip = 2;
+    g.layersPerBlock = 6;
+    g.wlsPerLayer = 4;
+    return g;
+}
+
+/** Every order must touch every WL exactly once. */
+class OrderProperty
+    : public ::testing::TestWithParam<ProgramOrderKind>
+{
+};
+
+TEST_P(OrderProperty, IsAPermutationOfAllWls)
+{
+    const auto g = geom();
+    const auto seq = programSequence(GetParam(), g, 1);
+    ASSERT_EQ(seq.size(), g.wlsPerBlock());
+    std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+    for (const auto &wl : seq) {
+        EXPECT_EQ(wl.block, 1u);
+        EXPECT_LT(wl.layer, g.layersPerBlock);
+        EXPECT_LT(wl.wl, g.wlsPerLayer);
+        EXPECT_TRUE(seen.emplace(wl.layer, wl.wl).second)
+            << "duplicate WL in sequence";
+    }
+}
+
+TEST_P(OrderProperty, LeadersPrecedeTheirFollowers)
+{
+    // In every order, the leader of an h-layer is programmed before
+    // any follower of that h-layer (the OPM depends on this).
+    const auto g = geom();
+    const auto seq = programSequence(GetParam(), g, 0);
+    std::set<std::uint32_t> leaderDone;
+    for (const auto &wl : seq) {
+        if (isLeaderWl(wl)) {
+            leaderDone.insert(wl.layer);
+        } else {
+            EXPECT_TRUE(leaderDone.count(wl.layer))
+                << "follower before leader on layer " << wl.layer;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrders, OrderProperty,
+    ::testing::Values(ProgramOrderKind::HorizontalFirst,
+                      ProgramOrderKind::VerticalFirst,
+                      ProgramOrderKind::Mixed));
+
+TEST(ProgramOrder, HorizontalFirstShape)
+{
+    const auto g = geom();
+    const auto seq =
+        programSequence(ProgramOrderKind::HorizontalFirst, g, 0);
+    // w11 w12 w13 w14 w21 ... (Fig. 12(a))
+    EXPECT_EQ(seq[0], (nand::WlAddr{0, 0, 0}));
+    EXPECT_EQ(seq[1], (nand::WlAddr{0, 0, 1}));
+    EXPECT_EQ(seq[4], (nand::WlAddr{0, 1, 0}));
+}
+
+TEST(ProgramOrder, VerticalFirstShape)
+{
+    const auto g = geom();
+    const auto seq =
+        programSequence(ProgramOrderKind::VerticalFirst, g, 0);
+    // w11 w21 ... wL1 w12 ... (Fig. 12(b))
+    EXPECT_EQ(seq[0], (nand::WlAddr{0, 0, 0}));
+    EXPECT_EQ(seq[1], (nand::WlAddr{0, 1, 0}));
+    EXPECT_EQ(seq[g.layersPerBlock], (nand::WlAddr{0, 0, 1}));
+}
+
+TEST(ProgramOrder, VerticalFirstFrontloadsAllLeaders)
+{
+    // The v-layer-0 pass makes every later WL a follower: the whole
+    // tail of the sequence is followers (the MOS motivation).
+    const auto g = geom();
+    const auto seq =
+        programSequence(ProgramOrderKind::VerticalFirst, g, 0);
+    for (std::uint32_t i = 0; i < g.layersPerBlock; ++i)
+        EXPECT_TRUE(isLeaderWl(seq[i]));
+    for (std::size_t i = g.layersPerBlock; i < seq.size(); ++i)
+        EXPECT_FALSE(isLeaderWl(seq[i]));
+}
+
+TEST(ProgramOrder, MixedInterleavesLeadersAndFollowers)
+{
+    const auto g = geom();
+    const auto seq = programSequence(ProgramOrderKind::Mixed, g, 0);
+    // Unlike horizontal-first, leaders run ahead: by the time the
+    // first follower appears, more than one leader is programmed.
+    std::uint32_t leadersBeforeFirstFollower = 0;
+    for (const auto &wl : seq) {
+        if (isLeaderWl(wl))
+            ++leadersBeforeFirstFollower;
+        else
+            break;
+    }
+    EXPECT_GT(leadersBeforeFirstFollower, 1u);
+    EXPECT_LT(leadersBeforeFirstFollower, g.layersPerBlock);
+}
+
+TEST(ProgramOrder, MixedHandlesTinyBlocks)
+{
+    nand::NandGeometry g;
+    g.blocksPerChip = 1;
+    g.layersPerBlock = 1;
+    g.wlsPerLayer = 4;
+    const auto seq = programSequence(ProgramOrderKind::Mixed, g, 0);
+    EXPECT_EQ(seq.size(), 4u);
+    EXPECT_TRUE(isLeaderWl(seq[0]));
+}
+
+TEST(ProgramOrder, Names)
+{
+    EXPECT_STREQ(programOrderName(ProgramOrderKind::HorizontalFirst),
+                 "horizontal-first");
+    EXPECT_STREQ(programOrderName(ProgramOrderKind::VerticalFirst),
+                 "vertical-first");
+    EXPECT_STREQ(programOrderName(ProgramOrderKind::Mixed),
+                 "mixed (MOS)");
+}
+
+}  // namespace
+}  // namespace cubessd::ftl

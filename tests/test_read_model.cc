@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit/property tests for the Vth drift model and the read-retry loop
+ * (Sec. 2.3 / 4.2): fresh reads never retry, retries grow with aging,
+ * and starting from a cached good shift eliminates them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/ecc/ecc.h"
+#include "src/nand/process_model.h"
+#include "src/nand/read_model.h"
+#include "src/nand/vth_model.h"
+
+namespace cubessd::nand {
+namespace {
+
+class ReadModelTest : public ::testing::Test
+{
+  protected:
+    VthModel vth_{VthParams{}, 3};
+    ErrorModel errors_{};
+    ecc::EccModel ecc_{};
+    ReadModel read_{ReadParams{}, vth_, errors_, ecc_};
+    Rng rng_{55};
+};
+
+TEST_F(ReadModelTest, NoShiftWhenFresh)
+{
+    EXPECT_DOUBLE_EQ(vth_.optimalShiftMv(0, 1.2, {0, 0.0}, errors_),
+                     0.0);
+}
+
+TEST_F(ReadModelTest, ShiftGrowsWithAging)
+{
+    double prev = 0.0;
+    for (double t : {0.5, 1.0, 3.0, 12.0}) {
+        const double s =
+            vth_.optimalShiftMv(0, 1.2, {2000, t}, errors_);
+        EXPECT_GT(s, prev);
+        prev = s;
+    }
+}
+
+TEST_F(ReadModelTest, ShiftScalesWithQuality)
+{
+    const AgingState aging{2000, 6.0};
+    EXPECT_GT(vth_.optimalShiftMv(0, 1.6, aging, errors_),
+              vth_.optimalShiftMv(0, 1.0, aging, errors_));
+}
+
+TEST_F(ReadModelTest, BlockDriftIsDeterministicAndVaried)
+{
+    EXPECT_DOUBLE_EQ(vth_.blockDrift(7), vth_.blockDrift(7));
+    double lo = 1e30, hi = 0.0;
+    for (std::uint32_t b = 0; b < 100; ++b) {
+        lo = std::min(lo, vth_.blockDrift(b));
+        hi = std::max(hi, vth_.blockDrift(b));
+    }
+    EXPECT_GT(hi / lo, 1.5);
+}
+
+TEST_F(ReadModelTest, ExpandOffsetsMonotoneInBoundary)
+{
+    const auto offsets = vth_.expandOffsets(60.0);
+    for (int i = 1; i < kTlcBoundaries; ++i) {
+        // Higher boundaries shift more (deeper negative offsets).
+        EXPECT_LE(offsets[static_cast<std::size_t>(i)],
+                  offsets[static_cast<std::size_t>(i - 1)]);
+    }
+    EXPECT_LT(offsets[kTlcBoundaries - 1], 0);
+}
+
+TEST_F(ReadModelTest, FreshReadNeverRetries)
+{
+    for (int i = 0; i < 200; ++i) {
+        const auto out = read_.read(0, 1.3, {0, 0.0}, 1.0, 1.0, 0,
+                                    rng_);
+        EXPECT_EQ(out.numRetries, 0);
+        EXPECT_FALSE(out.uncorrectable);
+        // One sense; the hard decode pipelines with the transfer.
+        EXPECT_EQ(out.tRead, ReadParams{}.tSense);
+    }
+}
+
+TEST_F(ReadModelTest, AgedReadsRetryAndConverge)
+{
+    const AgingState aged{2000, 12.0};
+    int totalRetries = 0;
+    for (int i = 0; i < 100; ++i) {
+        const auto out = read_.read(3, 1.2, aged, 1.0, 1.0, 0, rng_);
+        totalRetries += out.numRetries;
+        if (!out.uncorrectable) {
+            // The successful shift must be near the model optimum.
+            const double opt =
+                vth_.optimalShiftMv(3, 1.2, aged, errors_);
+            EXPECT_LT(std::abs(out.successShiftMv - opt), 100.0);
+        }
+    }
+    EXPECT_GT(totalRetries, 50);
+}
+
+TEST_F(ReadModelTest, RetryLatencyGrowsWithRetries)
+{
+    const AgingState aged{2000, 12.0};
+    const auto out = read_.read(3, 1.3, aged, 1.0, 1.0, 0, rng_);
+    // At least one sense per attempt, plus decode time per attempt.
+    const SimTime senses =
+        ReadParams{}.tSense * static_cast<SimTime>(1 + out.numRetries);
+    EXPECT_GE(out.tRead, senses);
+    EXPECT_LE(out.tRead,
+              senses + static_cast<SimTime>(1 + out.numRetries) *
+                           (ecc::EccConfig{}.tHardDecodeNs +
+                            ecc::EccConfig{}.tSoftDecodeNs));
+}
+
+TEST_F(ReadModelTest, SoftHintSkipsFailedHardDecode)
+{
+    // On a noisy-but-aligned page the hinted read must be exactly one
+    // failed-hard-decode cheaper per attempt.
+    const AgingState aged{2000, 12.0};
+    // Find the optimal shift first so both reads are retry-free.
+    const auto pilot = read_.read(9, 1.25, aged, 1.0, 1.0, 0, rng_);
+    ASSERT_FALSE(pilot.uncorrectable);
+    const auto plain = read_.read(9, 1.25, aged, 1.0, 1.0,
+                                  pilot.successShiftMv, rng_, false);
+    const auto hinted = read_.read(9, 1.25, aged, 1.0, 1.0,
+                                   pilot.successShiftMv, rng_, true);
+    if (plain.numRetries == 0 && hinted.numRetries == 0 &&
+        plain.rawBerNorm * ErrorParams{}.baseBer >
+            ecc_.hardLimitBer()) {
+        EXPECT_EQ(plain.tRead - hinted.tRead,
+                  ecc::EccConfig{}.tHardDecodeNs);
+    }
+}
+
+TEST_F(ReadModelTest, GoodStartingShiftEliminatesRetries)
+{
+    // The PS-aware path (Sec. 4.2): reuse of the h-layer's known good
+    // shift makes subsequent reads retry-free.
+    const AgingState aged{2000, 12.0};
+    const auto first = read_.read(5, 1.15, aged, 1.0, 1.0, 0, rng_);
+    ASSERT_FALSE(first.uncorrectable);
+    ASSERT_GT(first.numRetries, 0);
+    int retriesWithHint = 0;
+    for (int i = 0; i < 100; ++i) {
+        const auto again = read_.read(5, 1.15, aged, 1.0, 1.0,
+                                      first.successShiftMv, rng_);
+        retriesWithHint += again.numRetries;
+    }
+    // >= 95% retry elimination on repeat reads (paper: 66% average
+    // including first reads).
+    EXPECT_LT(retriesWithHint, 100 * first.numRetries / 20 + 5);
+}
+
+TEST_F(ReadModelTest, MisalignmentRaisesRawBer)
+{
+    EXPECT_GT(read_.rawBerNorm(10.0, 50.0), read_.rawBerNorm(10.0, 0.0));
+    EXPECT_DOUBLE_EQ(read_.rawBerNorm(10.0, 0.0), 10.0);
+}
+
+TEST_F(ReadModelTest, UncorrectableWhenBerBeyondEcc)
+{
+    // A hopeless page: enormous program-time multiplier.
+    const AgingState aged{2000, 12.0};
+    const auto out = read_.read(0, 1.6, aged, 1.0, 50.0, 0, rng_);
+    EXPECT_TRUE(out.uncorrectable);
+    EXPECT_EQ(out.numRetries, ReadParams{}.maxRetries);
+}
+
+/** Property sweep: retry fractions rise with aging (Sec. 6.2's
+ *  probabilistic retry model: 0% fresh, ~30% at 2K P/E + 1 month,
+ *  ~90%+ at 2K P/E + 1 year). Quality factors are drawn from a real
+ *  ProcessModel layer profile so the layer mix is representative. */
+class RetryFractionProperty
+    : public ::testing::TestWithParam<std::pair<PeCycles, double>>
+{
+};
+
+TEST_P(RetryFractionProperty, FractionWithinExpectedBand)
+{
+    const auto [pe, months] = GetParam();
+    VthModel vth(VthParams{}, 17);
+    ErrorModel errors;
+    ecc::EccModel ecc;
+    ReadModel read(ReadParams{}, vth, errors, ecc);
+    NandGeometry geom;
+    geom.blocksPerChip = 40;
+    ProcessModel process(geom, ProcessParams{}, 17);
+    Rng rng(3);
+    const AgingState aging{pe, months};
+
+    int needRetry = 0, n = 0;
+    for (std::uint32_t block = 0; block < geom.blocksPerChip; ++block) {
+        for (std::uint32_t layer = 0; layer < geom.layersPerBlock;
+             layer += 4) {
+            const double q = process.layerQuality(block, layer);
+            const auto out =
+                read.read(block, q, aging, 1.0, 1.0, 0, rng);
+            needRetry += out.numRetries > 0;
+            ++n;
+        }
+    }
+    const double fraction = static_cast<double>(needRetry) / n;
+    if (pe == 0) {
+        EXPECT_EQ(needRetry, 0);  // fresh: no retries (paper Sec. 6.2)
+    } else if (months == 1.0) {
+        EXPECT_GT(fraction, 0.10);
+        EXPECT_LT(fraction, 0.60);
+    } else {
+        EXPECT_GT(fraction, 0.85);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AgingSweep, RetryFractionProperty,
+    ::testing::Values(std::pair<PeCycles, double>{0, 0.0},
+                      std::pair<PeCycles, double>{2000, 1.0},
+                      std::pair<PeCycles, double>{2000, 12.0}));
+
+}  // namespace
+}  // namespace cubessd::nand

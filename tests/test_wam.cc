@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the WL Allocation Manager (Sec. 5.2 / Fig. 16):
+ * leader/follower steering by buffer utilization, MOS write-point
+ * invariants, and block exhaustion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/ftl/wam.h"
+
+namespace cubessd::ftl {
+namespace {
+
+nand::NandGeometry
+geom()
+{
+    nand::NandGeometry g;
+    g.layersPerBlock = 4;
+    g.wlsPerLayer = 4;
+    return g;
+}
+
+TEST(Wam, LowUtilizationPrefersLeaders)
+{
+    Wam wam(0.9);
+    MixedWritePoint wp;
+    const auto g = geom();
+    const auto c1 = wam.choose(wp, g, 0.1);
+    ASSERT_TRUE(c1.has_value());
+    EXPECT_TRUE(c1->isLeader);
+    EXPECT_EQ(c1->wl.layer, 0u);
+    const auto c2 = wam.choose(wp, g, 0.1);
+    EXPECT_TRUE(c2->isLeader);
+    EXPECT_EQ(c2->wl.layer, 1u);  // leaders advance bottom-up
+}
+
+TEST(Wam, HighUtilizationPrefersFollowers)
+{
+    Wam wam(0.9);
+    MixedWritePoint wp;
+    const auto g = geom();
+    // Open two layers' followers first.
+    wam.choose(wp, g, 0.0);
+    wam.choose(wp, g, 0.0);
+    const auto c = wam.choose(wp, g, 0.95);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_FALSE(c->isLeader);
+    EXPECT_EQ(c->wl.layer, 0u);
+    EXPECT_EQ(c->wl.wl, 1u);
+}
+
+TEST(Wam, HighUtilizationFallsBackToLeaderWhenNoFollowers)
+{
+    Wam wam(0.9);
+    MixedWritePoint wp;
+    const auto g = geom();
+    // No leaders programmed yet -> no followers available.
+    const auto c = wam.choose(wp, g, 1.0);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_TRUE(c->isLeader);
+}
+
+TEST(Wam, LowUtilizationFallsBackToFollowersWhenLeadersExhausted)
+{
+    Wam wam(0.9);
+    MixedWritePoint wp;
+    const auto g = geom();
+    for (std::uint32_t l = 0; l < g.layersPerBlock; ++l)
+        EXPECT_TRUE(wam.choose(wp, g, 0.0)->isLeader);
+    const auto c = wam.choose(wp, g, 0.0);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_FALSE(c->isLeader);
+}
+
+TEST(Wam, FollowersOnlyFromLayersWithProgrammedLeader)
+{
+    Wam wam(0.9);
+    MixedWritePoint wp;
+    const auto g = geom();
+    wam.choose(wp, g, 0.0);  // leader of layer 0 only
+    std::set<std::uint32_t> followerLayers;
+    for (int i = 0; i < 3; ++i) {
+        const auto c = wam.takeFollower(wp, g);
+        ASSERT_TRUE(c.has_value());
+        followerLayers.insert(c->wl.layer);
+    }
+    EXPECT_EQ(followerLayers, std::set<std::uint32_t>{0});
+    // Layer 0's followers are gone and layer 1 has no leader yet.
+    EXPECT_FALSE(wam.takeFollower(wp, g).has_value());
+}
+
+TEST(Wam, BlockDrainsToExactlyAllWls)
+{
+    Wam wam(0.9);
+    MixedWritePoint wp;
+    const auto g = geom();
+    std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+    // Alternate utilization to exercise both paths.
+    for (std::uint32_t i = 0; i < g.wlsPerBlock(); ++i) {
+        const auto c = wam.choose(wp, g, i % 2 ? 1.0 : 0.0);
+        ASSERT_TRUE(c.has_value()) << "exhausted early at " << i;
+        EXPECT_TRUE(seen.emplace(c->wl.layer, c->wl.wl).second)
+            << "duplicate WL";
+        // Invariant: leader flag matches the v-layer-0 definition.
+        EXPECT_EQ(c->isLeader, c->wl.wl == 0);
+    }
+    EXPECT_TRUE(wp.full(g));
+    EXPECT_FALSE(wam.choose(wp, g, 0.5).has_value());
+}
+
+TEST(Wam, TakeLeaderExhausts)
+{
+    Wam wam(0.9);
+    MixedWritePoint wp;
+    const auto g = geom();
+    for (std::uint32_t l = 0; l < g.layersPerBlock; ++l)
+        EXPECT_TRUE(wam.takeLeader(wp, g).has_value());
+    EXPECT_FALSE(wam.takeLeader(wp, g).has_value());
+}
+
+TEST(Wam, SingleWlPerLayerHasNoFollowers)
+{
+    nand::NandGeometry g = geom();
+    g.wlsPerLayer = 1;
+    Wam wam(0.9);
+    MixedWritePoint wp;
+    for (std::uint32_t l = 0; l < g.layersPerBlock; ++l) {
+        const auto c = wam.choose(wp, g, 1.0);
+        ASSERT_TRUE(c.has_value());
+        EXPECT_TRUE(c->isLeader);
+    }
+    EXPECT_FALSE(wam.choose(wp, g, 1.0).has_value());
+}
+
+TEST(Wam, BlockIdPropagates)
+{
+    Wam wam(0.9);
+    MixedWritePoint wp;
+    wp.block = 17;
+    const auto c = wam.choose(wp, geom(), 0.0);
+    EXPECT_EQ(c->wl.block, 17u);
+}
+
+}  // namespace
+}  // namespace cubessd::ftl

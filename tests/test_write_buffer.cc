@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the DRAM write buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/ssd/write_buffer.h"
+
+namespace cubessd::ssd {
+namespace {
+
+TEST(WriteBuffer, InsertLookup)
+{
+    WriteBuffer buf(4);
+    EXPECT_TRUE(buf.insert(10, 111, 1));
+    EXPECT_TRUE(buf.insert(20, 222, 2));
+    EXPECT_EQ(buf.lookup(10).value(), 111u);
+    EXPECT_EQ(buf.lookup(20).value(), 222u);
+    EXPECT_FALSE(buf.lookup(30).has_value());
+}
+
+TEST(WriteBuffer, CoalescesRewrites)
+{
+    WriteBuffer buf(2);
+    EXPECT_TRUE(buf.insert(10, 111, 1));
+    EXPECT_TRUE(buf.insert(10, 999, 2));
+    EXPECT_EQ(buf.size(), 1u);
+    EXPECT_EQ(buf.lookup(10).value(), 999u);
+}
+
+TEST(WriteBuffer, FullRejectsNewAcceptsCoalesce)
+{
+    WriteBuffer buf(2);
+    EXPECT_TRUE(buf.insert(1, 1, 1));
+    EXPECT_TRUE(buf.insert(2, 2, 2));
+    EXPECT_TRUE(buf.full());
+    EXPECT_FALSE(buf.insert(3, 3, 3));
+    EXPECT_TRUE(buf.insert(1, 11, 4));  // coalesce still works
+}
+
+TEST(WriteBuffer, UtilizationTracksOccupancy)
+{
+    WriteBuffer buf(10);
+    EXPECT_DOUBLE_EQ(buf.utilization(), 0.0);
+    for (Lba l = 0; l < 9; ++l)
+        buf.insert(l, l, l + 1);
+    EXPECT_DOUBLE_EQ(buf.utilization(), 0.9);
+}
+
+TEST(WriteBuffer, PopOldestIsFifo)
+{
+    WriteBuffer buf(8);
+    for (Lba l = 0; l < 5; ++l)
+        buf.insert(l, 100 + l, l + 1);
+    const auto popped = buf.popOldest(3);
+    ASSERT_EQ(popped.size(), 3u);
+    EXPECT_EQ(popped[0].lba, 0u);
+    EXPECT_EQ(popped[1].lba, 1u);
+    EXPECT_EQ(popped[2].lba, 2u);
+    EXPECT_EQ(buf.size(), 2u);
+    EXPECT_FALSE(buf.lookup(0).has_value());
+    EXPECT_TRUE(buf.lookup(4).has_value());
+}
+
+TEST(WriteBuffer, PopMoreThanAvailable)
+{
+    WriteBuffer buf(8);
+    buf.insert(1, 1, 1);
+    const auto popped = buf.popOldest(5);
+    EXPECT_EQ(popped.size(), 1u);
+    EXPECT_TRUE(buf.empty());
+}
+
+TEST(WriteBuffer, CoalesceDoesNotChangeFifoPosition)
+{
+    WriteBuffer buf(8);
+    buf.insert(1, 1, 1);
+    buf.insert(2, 2, 2);
+    buf.insert(1, 11, 3);  // rewrite of the oldest entry
+    const auto popped = buf.popOldest(1);
+    ASSERT_EQ(popped.size(), 1u);
+    EXPECT_EQ(popped[0].lba, 1u);
+    EXPECT_EQ(popped[0].token, 11u);
+    EXPECT_EQ(popped[0].version, 3u);
+}
+
+TEST(WriteBufferDeathTest, ZeroCapacityRejected)
+{
+    EXPECT_EXIT(WriteBuffer{0}, ::testing::ExitedWithCode(1),
+                "capacity");
+}
+
+}  // namespace
+}  // namespace cubessd::ssd

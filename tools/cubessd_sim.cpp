@@ -1,0 +1,217 @@
+/**
+ * @file
+ * cubessd_sim: command-line SSD simulation driver.
+ *
+ * The tool a downstream user reaches for first: pick an FTL, a
+ * workload, an aging state, and a device size; get IOPS, latency
+ * percentiles, and the FTL statistics.
+ *
+ *   cubessd_sim --ftl cube --workload oltp --pe 2000 --retention 12
+ *   cubessd_sim --ftl page --workload web --blocks 428 --requests 50000
+ *   cubessd_sim --help
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/cubessd.h"
+#include "src/ftl/cube_ftl.h"
+
+using namespace cubessd;
+
+namespace {
+
+struct Options
+{
+    std::string ftl = "cube";
+    std::string workload = "oltp";
+    PeCycles pe = 0;
+    double retentionMonths = 0.0;
+    std::uint32_t blocks = 128;
+    std::uint64_t requests = 30000;
+    std::uint64_t seed = 42;
+    double prefillOverwrite = 0.2;
+    bool verbose = false;
+};
+
+void
+usage()
+{
+    std::cout <<
+        "cubessd_sim - PS-aware 3D NAND SSD simulator (MICRO-52 "
+        "reproduction)\n\n"
+        "options:\n"
+        "  --ftl <page|vert|cube|cube->   FTL to drive (default cube)\n"
+        "  --workload <mail|web|proxy|oltp|rocks|mongo>\n"
+        "                                 workload (default oltp)\n"
+        "  --pe <cycles>                  injected P/E wear (default 0)\n"
+        "  --retention <months>           injected retention (default 0)\n"
+        "  --blocks <n>                   blocks per chip (default 128;\n"
+        "                                 the paper's device uses 428)\n"
+        "  --requests <n>                 measured requests (default 30000)\n"
+        "  --seed <n>                     simulation seed (default 42)\n"
+        "  --prefill-overwrite <frac>     random-overwrite fraction of the\n"
+        "                                 working set before measuring\n"
+        "                                 (default 0.2)\n"
+        "  --verbose                      print per-chip statistics\n"
+        "  --help                         this text\n";
+}
+
+ssd::FtlKind
+parseFtl(const std::string &name)
+{
+    if (name == "page") return ssd::FtlKind::Page;
+    if (name == "vert") return ssd::FtlKind::Vert;
+    if (name == "cube") return ssd::FtlKind::Cube;
+    if (name == "cube-") return ssd::FtlKind::CubeMinus;
+    fatal("unknown FTL '%s' (page|vert|cube|cube-)", name.c_str());
+}
+
+workload::WorkloadSpec
+parseWorkload(const std::string &name)
+{
+    for (const auto &spec : workload::allWorkloads()) {
+        std::string lower = spec.name;
+        for (auto &ch : lower)
+            ch = static_cast<char>(std::tolower(ch));
+        if (lower == name)
+            return spec;
+    }
+    fatal("unknown workload '%s' (mail|web|proxy|oltp|rocks|mongo)",
+          name.c_str());
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else if (arg == "--ftl") {
+            opt.ftl = value();
+        } else if (arg == "--workload") {
+            opt.workload = value();
+        } else if (arg == "--pe") {
+            opt.pe = static_cast<PeCycles>(std::atoi(value()));
+        } else if (arg == "--retention") {
+            opt.retentionMonths = std::atof(value());
+        } else if (arg == "--blocks") {
+            opt.blocks = static_cast<std::uint32_t>(std::atoi(value()));
+        } else if (arg == "--requests") {
+            opt.requests =
+                static_cast<std::uint64_t>(std::atoll(value()));
+        } else if (arg == "--seed") {
+            opt.seed = static_cast<std::uint64_t>(std::atoll(value()));
+        } else if (arg == "--prefill-overwrite") {
+            opt.prefillOverwrite = std::atof(value());
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
+        } else {
+            fatal("unknown option '%s' (try --help)", arg.c_str());
+        }
+    }
+    return opt;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+
+    ssd::SsdConfig config;
+    config.chip.geometry.blocksPerChip = opt.blocks;
+    config.ftl = parseFtl(opt.ftl);
+    config.seed = opt.seed;
+    ssd::Ssd dev(config);
+
+    const auto spec = parseWorkload(opt.workload);
+    std::cout << "device: " << dev.chipCount() << " chips x "
+              << opt.blocks << " blocks ("
+              << dev.logicalPages() *
+                     config.chip.geometry.pageSizeBytes / kGiB
+              << " GiB logical), FTL " << ssd::ftlKindName(config.ftl)
+              << "\nworkload: " << spec.name << " @ " << opt.pe
+              << " P/E + " << opt.retentionMonths
+              << " months retention\n";
+
+    workload::WorkloadGenerator gen(spec, dev.logicalPages(),
+                                    opt.seed + 7);
+    workload::Driver driver(dev, gen);
+
+    std::cout << "prefilling..." << std::flush;
+    dev.setAging({opt.pe, 0.0});
+    driver.prefill(opt.prefillOverwrite);
+    dev.setAging({opt.pe, opt.retentionMonths});
+    std::cout << " done\nrunning " << opt.requests << " requests..."
+              << std::flush;
+    const auto result = driver.run(opt.requests);
+    std::cout << " done\n\n";
+
+    metrics::Table table({"metric", "value"});
+    table.row({"IOPS", metrics::format(result.iops, 0)});
+    table.row({"simulated time",
+               metrics::format(toSeconds(result.elapsed), 3) + " s"});
+    for (const double p : {50.0, 90.0, 99.0}) {
+        table.row({"write p" + metrics::format(p, 0) + " (ms)",
+                   metrics::format(
+                       result.writeLatencyUs.percentile(p) / 1000.0,
+                       3)});
+        table.row({"read p" + metrics::format(p, 0) + " (ms)",
+                   metrics::format(
+                       result.readLatencyUs.percentile(p) / 1000.0,
+                       3)});
+    }
+    const auto &stats = dev.ftl().stats();
+    table.row({"write amplification",
+               metrics::format(stats.writeAmplification(), 2)});
+    table.row({"avg program latency (us)",
+               metrics::format(stats.avgProgramLatencyUs(), 1)});
+    table.row({"leader / follower programs",
+               std::to_string(stats.leaderPrograms) + " / " +
+                   std::to_string(stats.followerPrograms)});
+    table.row({"GC collections", std::to_string(stats.gcCollections)});
+    table.row({"read retries", std::to_string(stats.readRetries)});
+    table.row({"safety re-programs",
+               std::to_string(stats.safetyReprograms)});
+    table.print(std::cout);
+
+    if (config.ftl == ssd::FtlKind::Cube ||
+        config.ftl == ssd::FtlKind::CubeMinus) {
+        const auto &cube = static_cast<ftl::CubeFtl &>(dev.ftl());
+        std::cout << "\ncubeFTL: " << cube.cubeStats().followerWithParams
+                  << " followers with leader params, "
+                  << cube.cubeStats().ortGuidedReads
+                  << " ORT-guided reads, ORT size " << cube.ort().bytes()
+                  << " B\n";
+    }
+
+    if (opt.verbose) {
+        std::cout << "\nper-chip statistics:\n";
+        metrics::Table chips({"chip", "programs", "reads", "erases",
+                              "retries"});
+        for (std::uint32_t i = 0; i < dev.chipCount(); ++i) {
+            const auto &cs = dev.chip(i).stats();
+            chips.row({std::to_string(i),
+                       std::to_string(cs.wlPrograms),
+                       std::to_string(cs.pageReads),
+                       std::to_string(cs.erases),
+                       std::to_string(cs.readRetries)});
+        }
+        chips.print(std::cout);
+    }
+
+    dev.ftl().checkConsistency();
+    return 0;
+}
