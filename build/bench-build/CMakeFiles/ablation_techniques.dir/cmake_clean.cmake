@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_techniques"
+  "../bench/ablation_techniques.pdb"
+  "CMakeFiles/ablation_techniques.dir/ablation_techniques.cc.o"
+  "CMakeFiles/ablation_techniques.dir/ablation_techniques.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_latency_predictability"
+  "../bench/ext_latency_predictability.pdb"
+  "CMakeFiles/ext_latency_predictability.dir/ext_latency_predictability.cc.o"
+  "CMakeFiles/ext_latency_predictability.dir/ext_latency_predictability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_latency_predictability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_ps_aware_ecc"
+  "../bench/ext_ps_aware_ecc.pdb"
+  "CMakeFiles/ext_ps_aware_ecc.dir/ext_ps_aware_ecc.cc.o"
+  "CMakeFiles/ext_ps_aware_ecc.dir/ext_ps_aware_ecc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ps_aware_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

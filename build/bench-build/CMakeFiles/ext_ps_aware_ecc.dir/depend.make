@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_ps_aware_ecc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_ispp_example"
+  "../bench/fig03_ispp_example.pdb"
+  "CMakeFiles/fig03_ispp_example.dir/fig03_ispp_example.cc.o"
+  "CMakeFiles/fig03_ispp_example.dir/fig03_ispp_example.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_ispp_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

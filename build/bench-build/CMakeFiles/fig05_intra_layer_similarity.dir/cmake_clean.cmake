@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_intra_layer_similarity"
+  "../bench/fig05_intra_layer_similarity.pdb"
+  "CMakeFiles/fig05_intra_layer_similarity.dir/fig05_intra_layer_similarity.cc.o"
+  "CMakeFiles/fig05_intra_layer_similarity.dir/fig05_intra_layer_similarity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_intra_layer_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

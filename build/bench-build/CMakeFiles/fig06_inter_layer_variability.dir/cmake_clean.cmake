@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_inter_layer_variability"
+  "../bench/fig06_inter_layer_variability.pdb"
+  "CMakeFiles/fig06_inter_layer_variability.dir/fig06_inter_layer_variability.cc.o"
+  "CMakeFiles/fig06_inter_layer_variability.dir/fig06_inter_layer_variability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_inter_layer_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_inter_layer_variability.
+# This may be replaced when dependencies are built.

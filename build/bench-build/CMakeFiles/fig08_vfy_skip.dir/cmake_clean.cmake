@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_vfy_skip"
+  "../bench/fig08_vfy_skip.pdb"
+  "CMakeFiles/fig08_vfy_skip.dir/fig08_vfy_skip.cc.o"
+  "CMakeFiles/fig08_vfy_skip.dir/fig08_vfy_skip.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_vfy_skip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

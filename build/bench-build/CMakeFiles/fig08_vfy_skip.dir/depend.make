@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_vfy_skip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_adjustment_margins"
+  "../bench/fig10_adjustment_margins.pdb"
+  "CMakeFiles/fig10_adjustment_margins.dir/fig10_adjustment_margins.cc.o"
+  "CMakeFiles/fig10_adjustment_margins.dir/fig10_adjustment_margins.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_adjustment_margins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

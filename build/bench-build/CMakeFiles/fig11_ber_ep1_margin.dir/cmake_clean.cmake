@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_ber_ep1_margin"
+  "../bench/fig11_ber_ep1_margin.pdb"
+  "CMakeFiles/fig11_ber_ep1_margin.dir/fig11_ber_ep1_margin.cc.o"
+  "CMakeFiles/fig11_ber_ep1_margin.dir/fig11_ber_ep1_margin.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_ber_ep1_margin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_ber_ep1_margin.
+# This may be replaced when dependencies are built.

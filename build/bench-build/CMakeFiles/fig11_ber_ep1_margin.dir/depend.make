@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_ber_ep1_margin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_program_order_ber"
+  "../bench/fig13_program_order_ber.pdb"
+  "CMakeFiles/fig13_program_order_ber.dir/fig13_program_order_ber.cc.o"
+  "CMakeFiles/fig13_program_order_ber.dir/fig13_program_order_ber.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_program_order_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

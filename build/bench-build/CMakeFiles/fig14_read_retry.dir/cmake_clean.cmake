@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_read_retry"
+  "../bench/fig14_read_retry.pdb"
+  "CMakeFiles/fig14_read_retry.dir/fig14_read_retry.cc.o"
+  "CMakeFiles/fig14_read_retry.dir/fig14_read_retry.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_read_retry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_read_retry.
+# This may be replaced when dependencies are built.

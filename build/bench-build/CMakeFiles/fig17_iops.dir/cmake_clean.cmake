@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_iops"
+  "../bench/fig17_iops.pdb"
+  "CMakeFiles/fig17_iops.dir/fig17_iops.cc.o"
+  "CMakeFiles/fig17_iops.dir/fig17_iops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_iops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

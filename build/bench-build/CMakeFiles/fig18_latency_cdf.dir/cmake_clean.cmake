@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_latency_cdf"
+  "../bench/fig18_latency_cdf.pdb"
+  "CMakeFiles/fig18_latency_cdf.dir/fig18_latency_cdf.cc.o"
+  "CMakeFiles/fig18_latency_cdf.dir/fig18_latency_cdf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_latency_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterization.dir/characterization.cpp.o"
+  "CMakeFiles/characterization.dir/characterization.cpp.o.d"
+  "characterization"
+  "characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

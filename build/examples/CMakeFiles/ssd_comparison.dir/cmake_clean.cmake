@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_comparison.dir/ssd_comparison.cpp.o"
+  "CMakeFiles/ssd_comparison.dir/ssd_comparison.cpp.o.d"
+  "ssd_comparison"
+  "ssd_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

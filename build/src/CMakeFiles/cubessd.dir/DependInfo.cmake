@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/cubessd.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/cubessd.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/cubessd.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/zipf.cc" "src/CMakeFiles/cubessd.dir/common/zipf.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/common/zipf.cc.o.d"
+  "/root/repo/src/ecc/ecc.cc" "src/CMakeFiles/cubessd.dir/ecc/ecc.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/ecc/ecc.cc.o.d"
+  "/root/repo/src/ftl/block_manager.cc" "src/CMakeFiles/cubessd.dir/ftl/block_manager.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/ftl/block_manager.cc.o.d"
+  "/root/repo/src/ftl/cube_ftl.cc" "src/CMakeFiles/cubessd.dir/ftl/cube_ftl.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/ftl/cube_ftl.cc.o.d"
+  "/root/repo/src/ftl/ftl_base.cc" "src/CMakeFiles/cubessd.dir/ftl/ftl_base.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/ftl/ftl_base.cc.o.d"
+  "/root/repo/src/ftl/mapping.cc" "src/CMakeFiles/cubessd.dir/ftl/mapping.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/ftl/mapping.cc.o.d"
+  "/root/repo/src/ftl/opm.cc" "src/CMakeFiles/cubessd.dir/ftl/opm.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/ftl/opm.cc.o.d"
+  "/root/repo/src/ftl/ort.cc" "src/CMakeFiles/cubessd.dir/ftl/ort.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/ftl/ort.cc.o.d"
+  "/root/repo/src/ftl/page_ftl.cc" "src/CMakeFiles/cubessd.dir/ftl/page_ftl.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/ftl/page_ftl.cc.o.d"
+  "/root/repo/src/ftl/program_order.cc" "src/CMakeFiles/cubessd.dir/ftl/program_order.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/ftl/program_order.cc.o.d"
+  "/root/repo/src/ftl/vert_ftl.cc" "src/CMakeFiles/cubessd.dir/ftl/vert_ftl.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/ftl/vert_ftl.cc.o.d"
+  "/root/repo/src/ftl/wam.cc" "src/CMakeFiles/cubessd.dir/ftl/wam.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/ftl/wam.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "src/CMakeFiles/cubessd.dir/metrics/report.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/metrics/report.cc.o.d"
+  "/root/repo/src/nand/chip.cc" "src/CMakeFiles/cubessd.dir/nand/chip.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/nand/chip.cc.o.d"
+  "/root/repo/src/nand/error_model.cc" "src/CMakeFiles/cubessd.dir/nand/error_model.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/nand/error_model.cc.o.d"
+  "/root/repo/src/nand/geometry.cc" "src/CMakeFiles/cubessd.dir/nand/geometry.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/nand/geometry.cc.o.d"
+  "/root/repo/src/nand/ispp.cc" "src/CMakeFiles/cubessd.dir/nand/ispp.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/nand/ispp.cc.o.d"
+  "/root/repo/src/nand/process_model.cc" "src/CMakeFiles/cubessd.dir/nand/process_model.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/nand/process_model.cc.o.d"
+  "/root/repo/src/nand/read_model.cc" "src/CMakeFiles/cubessd.dir/nand/read_model.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/nand/read_model.cc.o.d"
+  "/root/repo/src/nand/vth_model.cc" "src/CMakeFiles/cubessd.dir/nand/vth_model.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/nand/vth_model.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/cubessd.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/ssd/channel.cc" "src/CMakeFiles/cubessd.dir/ssd/channel.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/ssd/channel.cc.o.d"
+  "/root/repo/src/ssd/chip_unit.cc" "src/CMakeFiles/cubessd.dir/ssd/chip_unit.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/ssd/chip_unit.cc.o.d"
+  "/root/repo/src/ssd/ssd.cc" "src/CMakeFiles/cubessd.dir/ssd/ssd.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/ssd/ssd.cc.o.d"
+  "/root/repo/src/ssd/write_buffer.cc" "src/CMakeFiles/cubessd.dir/ssd/write_buffer.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/ssd/write_buffer.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "src/CMakeFiles/cubessd.dir/workload/driver.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/workload/driver.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/cubessd.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/workload/trace.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/cubessd.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/cubessd.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

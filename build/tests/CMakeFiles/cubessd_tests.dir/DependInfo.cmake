@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_block_manager.cc" "tests/CMakeFiles/cubessd_tests.dir/test_block_manager.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_block_manager.cc.o.d"
+  "/root/repo/tests/test_chip.cc" "tests/CMakeFiles/cubessd_tests.dir/test_chip.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_chip.cc.o.d"
+  "/root/repo/tests/test_chip_unit.cc" "tests/CMakeFiles/cubessd_tests.dir/test_chip_unit.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_chip_unit.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/cubessd_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_cube_ftl.cc" "tests/CMakeFiles/cubessd_tests.dir/test_cube_ftl.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_cube_ftl.cc.o.d"
+  "/root/repo/tests/test_ecc.cc" "tests/CMakeFiles/cubessd_tests.dir/test_ecc.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_ecc.cc.o.d"
+  "/root/repo/tests/test_error_model.cc" "tests/CMakeFiles/cubessd_tests.dir/test_error_model.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_error_model.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/cubessd_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_ftl.cc" "tests/CMakeFiles/cubessd_tests.dir/test_ftl.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_ftl.cc.o.d"
+  "/root/repo/tests/test_geometry.cc" "tests/CMakeFiles/cubessd_tests.dir/test_geometry.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_geometry.cc.o.d"
+  "/root/repo/tests/test_ispp.cc" "tests/CMakeFiles/cubessd_tests.dir/test_ispp.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_ispp.cc.o.d"
+  "/root/repo/tests/test_mapping.cc" "tests/CMakeFiles/cubessd_tests.dir/test_mapping.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_mapping.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/cubessd_tests.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_opm.cc" "tests/CMakeFiles/cubessd_tests.dir/test_opm.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_opm.cc.o.d"
+  "/root/repo/tests/test_ort.cc" "tests/CMakeFiles/cubessd_tests.dir/test_ort.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_ort.cc.o.d"
+  "/root/repo/tests/test_process_model.cc" "tests/CMakeFiles/cubessd_tests.dir/test_process_model.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_process_model.cc.o.d"
+  "/root/repo/tests/test_program_order.cc" "tests/CMakeFiles/cubessd_tests.dir/test_program_order.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_program_order.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/cubessd_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_read_model.cc" "tests/CMakeFiles/cubessd_tests.dir/test_read_model.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_read_model.cc.o.d"
+  "/root/repo/tests/test_ssd_integration.cc" "tests/CMakeFiles/cubessd_tests.dir/test_ssd_integration.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_ssd_integration.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/cubessd_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_wam.cc" "tests/CMakeFiles/cubessd_tests.dir/test_wam.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_wam.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/cubessd_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_workload.cc.o.d"
+  "/root/repo/tests/test_write_buffer.cc" "tests/CMakeFiles/cubessd_tests.dir/test_write_buffer.cc.o" "gcc" "tests/CMakeFiles/cubessd_tests.dir/test_write_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cubessd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubessd_sim.dir/cubessd_sim.cpp.o"
+  "CMakeFiles/cubessd_sim.dir/cubessd_sim.cpp.o.d"
+  "cubessd_sim"
+  "cubessd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubessd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
