@@ -18,8 +18,7 @@ FtlBase::FtlBase(const ssd::SsdConfig &config,
       mapping_(config.logicalPages()),
       buffer_(config.writeBufferPages),
       latestIssued_(config.logicalPages(), 0),
-      outstandingFlush_(chips.size(), false),
-      gc_(chips.size())
+      outstandingFlush_(chips.size(), false)
 {
     if (chips_.empty())
         fatal("FtlBase: no chips");
@@ -45,6 +44,11 @@ FtlBase::FtlBase(const ssd::SsdConfig &config,
     blockMgrs_.reserve(chips_.size());
     for (std::size_t i = 0; i < chips_.size(); ++i)
         blockMgrs_.emplace_back(geom_);
+
+    GcHost &host = *this;  // private base: convert inside class scope
+    gcEngine_ = std::make_unique<GcEngine>(
+        config_, chips_, blockMgrs_, mapping_, host,
+        makeGcPolicy(config_.gcPolicy), stats_);
 }
 
 const BlockManager &
@@ -265,8 +269,8 @@ FtlBase::maybeFlush()
                 // make progress there; if nothing is collectable
                 // (e.g. a pure sequential fill has no invalid pages)
                 // the flush must proceed or the device deadlocks.
-                maybeStartGc(c);
-                if (gc_[c].active)
+                gcEngine_->maybeStart(c);
+                if (gcEngine_->active(c))
                     continue;
             }
             if (!outstandingFlush_[c]) {
@@ -316,7 +320,7 @@ FtlBase::dispatchFlush(std::uint32_t chip, std::vector<FlushEntry> batch,
         tokens.push_back(e.token);
 
     if (forGc)
-        ++gc_[chip].outstandingPrograms;
+        gcEngine_->noteProgramIssued(chip);
     else
         outstandingFlush_[chip] = true;
 
@@ -349,7 +353,7 @@ FtlBase::handleProgramComplete(std::uint32_t chip, ProgramChoice choice,
         mgr.close(choice.wl.block);
 
     if (forGc)
-        --gc_[chip].outstandingPrograms;
+        gcEngine_->noteProgramComplete(chip, result.program.tProg);
     else
         outstandingFlush_[chip] = false;
 
@@ -359,7 +363,7 @@ FtlBase::handleProgramComplete(std::uint32_t chip, ProgramChoice choice,
         safetyCheck(chip, choice, result.program)) {
         ++stats_.safetyReprograms;
         dispatchFlush(chip, std::move(batch), forGc);
-        maybeStartGc(chip);
+        gcEngine_->maybeStart(chip);
         return;
     }
 
@@ -367,11 +371,11 @@ FtlBase::handleProgramComplete(std::uint32_t chip, ProgramChoice choice,
     onProgramComplete(chip, choice, result.program);
 
     if (forGc) {
-        continueGc(chip);
+        gcEngine_->resume(chip);
     } else {
         retryStalledWrites();
     }
-    maybeStartGc(chip);
+    gcEngine_->maybeStart(chip);
     maybeFlush();
 }
 
@@ -422,146 +426,37 @@ FtlBase::applyMappings(std::uint32_t chip, const nand::WlAddr &wl,
 }
 
 // ---------------------------------------------------------------------
-// Garbage collection
+// GcHost: services the GC engine (src/ftl/gc.cc) calls back into
 // ---------------------------------------------------------------------
 
 void
-FtlBase::maybeStartGc(std::uint32_t chip)
+FtlBase::gcProgram(std::uint32_t chip, std::vector<FlushEntry> batch)
 {
-    auto &gc = gc_[chip];
-    if (gc.active)
-        return;
-    if (blockMgrs_[chip].freeCount() >= config_.gcLowWatermark)
-        return;
-    const auto victim = blockMgrs_[chip].pickVictim();
-    if (!victim)
-        return;
-    gc = GcState{};
-    gc.active = true;
-    gc.victim = *victim;
-    ++stats_.gcCollections;
-    continueGc(chip);
+    dispatchFlush(chip, std::move(batch), /*forGc=*/true);
+}
+
+MilliVolt
+FtlBase::gcReadShift(std::uint32_t chip, const nand::PageAddr &addr)
+{
+    return readShiftFor(chip, addr);
+}
+
+bool
+FtlBase::gcReadSoftHint(std::uint32_t chip, const nand::PageAddr &addr)
+{
+    return readSoftHint(chip, addr);
 }
 
 void
-FtlBase::continueGc(std::uint32_t chip)
+FtlBase::gcBlockErased(std::uint32_t chip, std::uint32_t block)
 {
-    auto &gc = gc_[chip];
-    if (!gc.active)
-        return;
-    auto &mgr = blockMgrs_[chip];
-    const auto &info = mgr.info(gc.victim);
-
-    // Issue the next scan read (one outstanding at a time, so host
-    // reads can interleave).
-    while (!gc.scanDone && gc.outstandingReads == 0) {
-        while (gc.scanIndex < geom_.pagesPerBlock() &&
-               !info.valid[gc.scanIndex]) {
-            ++gc.scanIndex;
-        }
-        if (gc.scanIndex >= geom_.pagesPerBlock()) {
-            gc.scanDone = true;
-            break;
-        }
-        const std::uint32_t pageIdx = gc.scanIndex++;
-        const nand::PageAddr addr =
-            codec_.decode(static_cast<std::uint64_t>(gc.victim) *
-                              geom_.pagesPerBlock() + pageIdx);
-        ssd::NandOp op;
-        op.kind = ssd::NandOp::Kind::Read;
-        op.page = addr;
-        op.readShiftMv = readShiftFor(chip, addr);
-        op.readSoftHint = readSoftHint(chip, addr);
-        op.done = [this, chip, pageIdx](const ssd::NandOpResult &r) {
-            stats_.readRetries +=
-                static_cast<std::uint64_t>(r.read.numRetries);
-            --gc_[chip].outstandingReads;
-            finishGcScanPage(chip, pageIdx);
-            continueGc(chip);
-        };
-        ++gc.outstandingReads;
-        ++stats_.nandReads;
-        chips_[chip].enqueue(std::move(op));
-    }
-
-    maybeDispatchGcProgram(chip, /*force=*/gc.scanDone &&
-                                     gc.outstandingReads == 0);
-
-    if (gc.scanDone && gc.outstandingReads == 0 && gc.pending.empty() &&
-        gc.outstandingPrograms == 0 && !gc.erasing) {
-        eraseVictim(chip);
-    }
+    onBlockErased(chip, block);
 }
 
 void
-FtlBase::finishGcScanPage(std::uint32_t chip, std::uint32_t pageInBlockIdx)
+FtlBase::gcBackpressureReleased()
 {
-    auto &gc = gc_[chip];
-    const auto &info = blockMgrs_[chip].info(gc.victim);
-    if (!info.valid[pageInBlockIdx])
-        return;  // invalidated by a racing host write: nothing to move
-    const Lba lba = info.p2l[pageInBlockIdx];
-    const nand::PageAddr addr =
-        codec_.decode(static_cast<std::uint64_t>(gc.victim) *
-                          geom_.pagesPerBlock() + pageInBlockIdx);
-    FlushEntry entry;
-    entry.lba = lba;
-    entry.token = chips_[chip].chip().pageToken(addr);
-    entry.version = mapping_.mappedVersion(lba);
-    entry.sourcePpa = encodePpa(chip, addr);
-    gc.pending.push_back(entry);
-    ++stats_.gcRelocatedPages;
-}
-
-void
-FtlBase::maybeDispatchGcProgram(std::uint32_t chip, bool force)
-{
-    auto &gc = gc_[chip];
-    while (gc.pending.size() >= geom_.pagesPerWl ||
-           (force && !gc.pending.empty())) {
-        std::vector<FlushEntry> batch;
-        const std::size_t take =
-            std::min<std::size_t>(gc.pending.size(), geom_.pagesPerWl);
-        batch.assign(gc.pending.begin(),
-                     gc.pending.begin() + static_cast<long>(take));
-        gc.pending.erase(gc.pending.begin(),
-                         gc.pending.begin() + static_cast<long>(take));
-        while (batch.size() < geom_.pagesPerWl)
-            batch.push_back(FlushEntry{});
-        dispatchFlush(chip, std::move(batch), /*forGc=*/true);
-    }
-}
-
-void
-FtlBase::eraseVictim(std::uint32_t chip)
-{
-    auto &gc = gc_[chip];
-    gc.erasing = true;
-    ssd::NandOp op;
-    op.kind = ssd::NandOp::Kind::Erase;
-    op.block = gc.victim;
-    op.done = [this, chip](const ssd::NandOpResult &) {
-        auto &gc = gc_[chip];
-        const std::uint32_t victim = gc.victim;
-        ++stats_.erases;
-        blockMgrs_[chip].release(victim);
-        onBlockErased(chip, victim);
-        gc.active = false;
-        gc.erasing = false;
-        // Hysteresis: keep collecting until the high watermark.
-        if (blockMgrs_[chip].freeCount() < config_.gcHighWatermark) {
-            const auto next = blockMgrs_[chip].pickVictim();
-            if (next) {
-                gc = GcState{};
-                gc.active = true;
-                gc.victim = *next;
-                ++stats_.gcCollections;
-                continueGc(chip);
-            }
-        }
-        maybeFlush();
-    };
-    chips_[chip].enqueue(std::move(op));
+    maybeFlush();
 }
 
 // ---------------------------------------------------------------------

@@ -2,16 +2,15 @@
  * @file
  * FTL engine: the machinery shared by every mapping policy.
  *
- * FtlBase implements the full page-level FTL data path —
+ * FtlBase implements the host-facing stages of the request pipeline —
  *
  *  - host writes land in the DRAM write buffer (stalling when full),
  *  - a background flush drains WL-sized batches to NAND,
  *  - host reads are served from the buffer, from in-flight flushes,
  *    or from NAND,
- *  - greedy garbage collection relocates valid pages and erases
- *    victims when a chip runs low on free blocks,
  *
- * — and delegates the *policy* decisions to virtual hooks:
+ * — wires in the standalone GC subsystem (src/ftl/gc.h) for space
+ * reclamation, and delegates the *policy* decisions to virtual hooks:
  * which WL to program next and with what parameters
  * (chooseProgramTarget), which read-reference shift to apply
  * (readShiftFor), and what to learn from completed operations
@@ -33,6 +32,8 @@
 
 #include "src/common/stats.h"
 #include "src/ftl/block_manager.h"
+#include "src/ftl/ftl_stats.h"
+#include "src/ftl/gc.h"
 #include "src/ftl/mapping.h"
 #include "src/sim/event_queue.h"
 #include "src/ssd/chip_unit.h"
@@ -41,48 +42,6 @@
 #include "src/ssd/write_buffer.h"
 
 namespace cubessd::ftl {
-
-/** Cumulative FTL-level counters. */
-struct FtlStats
-{
-    std::uint64_t hostReadPages = 0;
-    std::uint64_t hostWritePages = 0;
-    std::uint64_t bufferHits = 0;
-    std::uint64_t unmappedReads = 0;
-    std::uint64_t nandReads = 0;
-    std::uint64_t hostPrograms = 0;     ///< WL programs from host flushes
-    std::uint64_t gcPrograms = 0;       ///< WL programs from GC
-    std::uint64_t leaderPrograms = 0;
-    std::uint64_t followerPrograms = 0;
-    std::uint64_t gcCollections = 0;
-    std::uint64_t gcRelocatedPages = 0;
-    std::uint64_t erases = 0;
-    std::uint64_t safetyReprograms = 0;
-    std::uint64_t readRetries = 0;
-    std::uint64_t uncorrectableReads = 0;
-    std::uint64_t writeStalls = 0;
-    SimTime programLatencySum = 0;      ///< device tPROG over all programs
-
-    double
-    writeAmplification() const
-    {
-        const auto host = hostPrograms;
-        return host == 0
-            ? 1.0
-            : static_cast<double>(hostPrograms + gcPrograms) /
-                  static_cast<double>(host);
-    }
-
-    double
-    avgProgramLatencyUs() const
-    {
-        const auto n = hostPrograms + gcPrograms;
-        return n == 0
-            ? 0.0
-            : static_cast<double>(programLatencySum) / 1000.0 /
-                  static_cast<double>(n);
-    }
-};
 
 /** A WL program decision made by the policy layer. */
 struct ProgramChoice
@@ -93,14 +52,14 @@ struct ProgramChoice
     bool monitor = true;    ///< treat the result as fresh leader data
 };
 
-class FtlBase
+class FtlBase : private GcHost
 {
   public:
     using CompletionFn = std::function<void(const ssd::Completion &)>;
 
     FtlBase(const ssd::SsdConfig &config,
             std::vector<ssd::ChipUnit> &chips, sim::EventQueue &queue);
-    virtual ~FtlBase() = default;
+    ~FtlBase() override = default;
 
     FtlBase(const FtlBase &) = delete;
     FtlBase &operator=(const FtlBase &) = delete;
@@ -121,6 +80,8 @@ class FtlBase
     std::optional<std::uint64_t> peek(Lba lba) const;
 
     const FtlStats &stats() const { return stats_; }
+    const GcStats &gcStats() const { return gcEngine_->stats(); }
+    const GcEngine &gc() const { return *gcEngine_; }
     const ssd::WriteBuffer &buffer() const { return buffer_; }
     const MappingTable &mapping() const { return mapping_; }
     const BlockManager &blockManager(std::uint32_t chip) const;
@@ -221,34 +182,12 @@ class FtlBase
     sim::EventQueue &queue() { return queue_; }
 
   private:
-    /** One page travelling from buffer to NAND. */
-    struct FlushEntry
-    {
-        Lba lba = kInvalidLba;          ///< kInvalidLba = padding
-        std::uint64_t token = 0;
-        std::uint64_t version = 0;
-        Ppa sourcePpa = kInvalidPpa;    ///< set for GC relocations
-    };
-
     /** Host write stalled on a full buffer. */
     struct StalledWrite
     {
         ssd::HostRequest req;
         CompletionFn done;
         std::uint32_t nextPage = 0;
-    };
-
-    /** Per-chip GC progress. */
-    struct GcState
-    {
-        bool active = false;
-        std::uint32_t victim = 0;
-        std::uint32_t scanIndex = 0;     ///< next page slot to scan
-        std::uint32_t outstandingReads = 0;
-        std::uint32_t outstandingPrograms = 0;
-        bool scanDone = false;
-        bool erasing = false;
-        std::vector<FlushEntry> pending; ///< relocated pages to program
     };
 
     void processWrite(const std::shared_ptr<StalledWrite> &write);
@@ -265,11 +204,15 @@ class FtlBase
                        const std::vector<FlushEntry> &batch);
     void retryStalledWrites();
 
-    void maybeStartGc(std::uint32_t chip);
-    void continueGc(std::uint32_t chip);
-    void finishGcScanPage(std::uint32_t chip, std::uint32_t pageInBlock);
-    void maybeDispatchGcProgram(std::uint32_t chip, bool force);
-    void eraseVictim(std::uint32_t chip);
+    // GcHost: services the GC engine calls back into.
+    void gcProgram(std::uint32_t chip,
+                   std::vector<FlushEntry> batch) override;
+    MilliVolt gcReadShift(std::uint32_t chip,
+                          const nand::PageAddr &addr) override;
+    bool gcReadSoftHint(std::uint32_t chip,
+                        const nand::PageAddr &addr) override;
+    void gcBlockErased(std::uint32_t chip, std::uint32_t block) override;
+    void gcBackpressureReleased() override;
 
     std::uint64_t nextVersion() { return ++versionCounter_; }
     static std::uint64_t tokenFor(Lba lba, std::uint64_t version);
@@ -292,7 +235,7 @@ class FtlBase
         inFlight_;                             ///< lba -> (token, version)
     std::deque<std::shared_ptr<StalledWrite>> stalled_;
     std::vector<bool> outstandingFlush_;       ///< per chip
-    std::vector<GcState> gc_;
+    std::unique_ptr<GcEngine> gcEngine_;
     std::uint32_t flushCursor_ = 0;
     std::uint64_t versionCounter_ = 0;
     bool drainMode_ = false;

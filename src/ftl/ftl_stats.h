@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Cumulative FTL-level counters, shared between the FTL engine and
+ * the GC subsystem (which mirrors its GC-specific counters here so
+ * existing consumers keep a single place to read totals).
+ */
+
+#ifndef CUBESSD_FTL_FTL_STATS_H
+#define CUBESSD_FTL_FTL_STATS_H
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace cubessd::ftl {
+
+/** Cumulative FTL-level counters. */
+struct FtlStats
+{
+    std::uint64_t hostReadPages = 0;
+    std::uint64_t hostWritePages = 0;
+    std::uint64_t bufferHits = 0;
+    std::uint64_t unmappedReads = 0;
+    std::uint64_t nandReads = 0;
+    std::uint64_t hostPrograms = 0;     ///< WL programs from host flushes
+    std::uint64_t gcPrograms = 0;       ///< WL programs from GC
+    std::uint64_t leaderPrograms = 0;
+    std::uint64_t followerPrograms = 0;
+    std::uint64_t gcCollections = 0;
+    std::uint64_t gcRelocatedPages = 0;
+    std::uint64_t erases = 0;
+    std::uint64_t safetyReprograms = 0;
+    std::uint64_t readRetries = 0;
+    std::uint64_t uncorrectableReads = 0;
+    std::uint64_t writeStalls = 0;
+    SimTime programLatencySum = 0;      ///< device tPROG over all programs
+
+    double
+    writeAmplification() const
+    {
+        const auto host = hostPrograms;
+        return host == 0
+            ? 1.0
+            : static_cast<double>(host + gcPrograms) /
+                  static_cast<double>(host);
+    }
+
+    double
+    avgProgramLatencyUs() const
+    {
+        const auto n = hostPrograms + gcPrograms;
+        return n == 0
+            ? 0.0
+            : static_cast<double>(programLatencySum) / 1000.0 /
+                  static_cast<double>(n);
+    }
+};
+
+}  // namespace cubessd::ftl
+
+#endif  // CUBESSD_FTL_FTL_STATS_H

@@ -1,0 +1,211 @@
+#include "src/ftl/gc.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace cubessd::ftl {
+
+std::unique_ptr<GcPolicy>
+makeGcPolicy(ssd::GcPolicyKind kind)
+{
+    switch (kind) {
+      case ssd::GcPolicyKind::Greedy:
+        return std::make_unique<GreedyGcPolicy>();
+    }
+    fatal("makeGcPolicy: unknown policy kind");
+}
+
+GcEngine::GcEngine(const ssd::SsdConfig &config,
+                   std::vector<ssd::ChipUnit> &chips,
+                   std::vector<BlockManager> &blockMgrs,
+                   MappingTable &mapping, GcHost &host,
+                   std::unique_ptr<GcPolicy> policy, FtlStats &mirror)
+    : config_(config),
+      chips_(chips),
+      blockMgrs_(blockMgrs),
+      mapping_(mapping),
+      host_(host),
+      policy_(std::move(policy)),
+      geom_(config.chip.geometry),
+      codec_(geom_),
+      gc_(chips.size()),
+      mirror_(mirror)
+{
+    if (!policy_)
+        fatal("GcEngine: no victim-selection policy");
+}
+
+Ppa
+GcEngine::encodePpa(std::uint32_t chip, const nand::PageAddr &addr) const
+{
+    return static_cast<Ppa>(chip) * geom_.pagesPerChip() +
+           codec_.encode(addr);
+}
+
+void
+GcEngine::maybeStart(std::uint32_t chip)
+{
+    auto &gc = gc_.at(chip);
+    if (gc.active)
+        return;
+    if (blockMgrs_[chip].freeCount() >= config_.gcLowWatermark)
+        return;
+    const auto victim = policy_->pickVictim(blockMgrs_[chip]);
+    if (!victim)
+        return;
+    gc = ChipState{};
+    gc.active = true;
+    gc.victim = *victim;
+    ++stats_.collections;
+    ++mirror_.gcCollections;
+    continueOn(chip);
+}
+
+void
+GcEngine::noteProgramIssued(std::uint32_t chip)
+{
+    ++gc_.at(chip).outstandingPrograms;
+}
+
+void
+GcEngine::noteProgramComplete(std::uint32_t chip, SimTime tProg)
+{
+    --gc_.at(chip).outstandingPrograms;
+    ++stats_.programs;
+    stats_.programLatencySum += tProg;
+}
+
+void
+GcEngine::resume(std::uint32_t chip)
+{
+    continueOn(chip);
+}
+
+void
+GcEngine::continueOn(std::uint32_t chip)
+{
+    auto &gc = gc_[chip];
+    if (!gc.active)
+        return;
+    auto &mgr = blockMgrs_[chip];
+    const auto &info = mgr.info(gc.victim);
+
+    // Issue the next scan read (one outstanding at a time, so host
+    // reads can interleave).
+    while (!gc.scanDone && gc.outstandingReads == 0) {
+        while (gc.scanIndex < geom_.pagesPerBlock() &&
+               !info.valid[gc.scanIndex]) {
+            ++gc.scanIndex;
+        }
+        if (gc.scanIndex >= geom_.pagesPerBlock()) {
+            gc.scanDone = true;
+            break;
+        }
+        const std::uint32_t pageIdx = gc.scanIndex++;
+        const nand::PageAddr addr =
+            codec_.decode(static_cast<std::uint64_t>(gc.victim) *
+                              geom_.pagesPerBlock() + pageIdx);
+        ssd::NandOp op;
+        op.kind = ssd::NandOp::Kind::Read;
+        op.page = addr;
+        op.readShiftMv = host_.gcReadShift(chip, addr);
+        op.readSoftHint = host_.gcReadSoftHint(chip, addr);
+        op.done = [this, chip, pageIdx](const ssd::NandOpResult &r) {
+            mirror_.readRetries +=
+                static_cast<std::uint64_t>(r.read.numRetries);
+            --gc_[chip].outstandingReads;
+            finishScanPage(chip, pageIdx);
+            continueOn(chip);
+        };
+        ++gc.outstandingReads;
+        ++stats_.scanReads;
+        ++mirror_.nandReads;
+        chips_[chip].enqueue(std::move(op));
+    }
+
+    maybeDispatchProgram(chip, /*force=*/gc.scanDone &&
+                                   gc.outstandingReads == 0);
+
+    if (gc.scanDone && gc.outstandingReads == 0 && gc.pending.empty() &&
+        gc.outstandingPrograms == 0 && !gc.erasing) {
+        eraseVictim(chip);
+    }
+}
+
+void
+GcEngine::finishScanPage(std::uint32_t chip,
+                         std::uint32_t pageInBlockIdx)
+{
+    auto &gc = gc_[chip];
+    const auto &info = blockMgrs_[chip].info(gc.victim);
+    if (!info.valid[pageInBlockIdx])
+        return;  // invalidated by a racing host write: nothing to move
+    const Lba lba = info.p2l[pageInBlockIdx];
+    const nand::PageAddr addr =
+        codec_.decode(static_cast<std::uint64_t>(gc.victim) *
+                          geom_.pagesPerBlock() + pageInBlockIdx);
+    FlushEntry entry;
+    entry.lba = lba;
+    entry.token = chips_[chip].chip().pageToken(addr);
+    entry.version = mapping_.mappedVersion(lba);
+    entry.sourcePpa = encodePpa(chip, addr);
+    gc.pending.push_back(entry);
+    ++stats_.relocatedPages;
+    ++mirror_.gcRelocatedPages;
+}
+
+void
+GcEngine::maybeDispatchProgram(std::uint32_t chip, bool force)
+{
+    auto &gc = gc_[chip];
+    while (gc.pending.size() >= geom_.pagesPerWl ||
+           (force && !gc.pending.empty())) {
+        std::vector<FlushEntry> batch;
+        const std::size_t take =
+            std::min<std::size_t>(gc.pending.size(), geom_.pagesPerWl);
+        batch.assign(gc.pending.begin(),
+                     gc.pending.begin() + static_cast<long>(take));
+        gc.pending.erase(gc.pending.begin(),
+                         gc.pending.begin() + static_cast<long>(take));
+        while (batch.size() < geom_.pagesPerWl)
+            batch.push_back(FlushEntry{});
+        host_.gcProgram(chip, std::move(batch));
+    }
+}
+
+void
+GcEngine::eraseVictim(std::uint32_t chip)
+{
+    auto &gc = gc_[chip];
+    gc.erasing = true;
+    ssd::NandOp op;
+    op.kind = ssd::NandOp::Kind::Erase;
+    op.block = gc.victim;
+    op.done = [this, chip](const ssd::NandOpResult &) {
+        auto &gc = gc_[chip];
+        const std::uint32_t victim = gc.victim;
+        ++stats_.erases;
+        ++mirror_.erases;
+        blockMgrs_[chip].release(victim);
+        host_.gcBlockErased(chip, victim);
+        gc.active = false;
+        gc.erasing = false;
+        // Hysteresis: keep collecting until the high watermark.
+        if (blockMgrs_[chip].freeCount() < config_.gcHighWatermark) {
+            const auto next = policy_->pickVictim(blockMgrs_[chip]);
+            if (next) {
+                gc = ChipState{};
+                gc.active = true;
+                gc.victim = *next;
+                ++stats_.collections;
+                ++mirror_.gcCollections;
+                continueOn(chip);
+            }
+        }
+        host_.gcBackpressureReleased();
+    };
+    chips_[chip].enqueue(std::move(op));
+}
+
+}  // namespace cubessd::ftl

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Standalone garbage-collection subsystem.
+ *
+ * GcEngine owns the per-chip GC state machine that used to live in
+ * FtlBase: victim scan reads, WL-sized relocation programs, and the
+ * final erase, with hysteresis between the low and high free-block
+ * watermarks of SsdConfig. Victim selection is delegated to a
+ * GcPolicy (greedy by default) so alternative policies — e.g.
+ * PS-aware selection that prefers victims on cheap h-layers — can be
+ * swapped in without touching the engine.
+ *
+ * The engine drives NAND directly for scans and erases but routes
+ * relocation programs back through the FTL's flush path (GcHost), so
+ * program-target policy (leader/follower steering, safety checks)
+ * applies to GC traffic exactly as to host traffic.
+ */
+
+#ifndef CUBESSD_FTL_GC_H
+#define CUBESSD_FTL_GC_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/ftl/block_manager.h"
+#include "src/ftl/ftl_stats.h"
+#include "src/ftl/mapping.h"
+#include "src/nand/geometry.h"
+#include "src/ssd/chip_unit.h"
+#include "src/ssd/config.h"
+
+namespace cubessd::ftl {
+
+/** One page travelling from the write buffer or a GC scan to NAND. */
+struct FlushEntry
+{
+    Lba lba = kInvalidLba;          ///< kInvalidLba = padding
+    std::uint64_t token = 0;
+    std::uint64_t version = 0;
+    Ppa sourcePpa = kInvalidPpa;    ///< set for GC relocations
+};
+
+/** Cumulative counters of the GC subsystem. */
+struct GcStats
+{
+    std::uint64_t collections = 0;    ///< victims picked
+    std::uint64_t relocatedPages = 0; ///< valid pages moved
+    std::uint64_t erases = 0;         ///< victims erased
+    std::uint64_t scanReads = 0;      ///< NAND reads issued by scans
+    std::uint64_t programs = 0;       ///< WL programs issued for GC
+    SimTime programLatencySum = 0;    ///< device tPROG over GC programs
+
+    /** Mean GC-induced WL program latency in microseconds. */
+    double
+    avgProgramLatencyUs() const
+    {
+        return programs == 0
+            ? 0.0
+            : static_cast<double>(programLatencySum) / 1000.0 /
+                  static_cast<double>(programs);
+    }
+};
+
+/** Victim-selection policy. */
+class GcPolicy
+{
+  public:
+    virtual ~GcPolicy() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Pick the next victim block on one chip, or nullopt if no
+     * profitable victim exists.
+     */
+    virtual std::optional<std::uint32_t>
+    pickVictim(const BlockManager &mgr) = 0;
+};
+
+/** Default policy: the closed block with the fewest valid pages. */
+class GreedyGcPolicy final : public GcPolicy
+{
+  public:
+    const char *name() const override { return "greedy"; }
+    std::optional<std::uint32_t>
+    pickVictim(const BlockManager &mgr) override
+    {
+        return mgr.pickVictim();
+    }
+};
+
+/** Instantiate the policy selected in SsdConfig. */
+std::unique_ptr<GcPolicy> makeGcPolicy(ssd::GcPolicyKind kind);
+
+/**
+ * Services the GC engine needs from the surrounding FTL. Implemented
+ * by FtlBase; kept abstract so the engine is testable and reusable.
+ */
+class GcHost
+{
+  public:
+    virtual ~GcHost() = default;
+
+    /** Program one WL of relocated pages through the flush path. */
+    virtual void gcProgram(std::uint32_t chip,
+                           std::vector<FlushEntry> batch) = 0;
+
+    /** Read-reference shift for a scan read (policy hook). */
+    virtual MilliVolt gcReadShift(std::uint32_t chip,
+                                  const nand::PageAddr &addr) = 0;
+
+    /** Soft-decode hint for a scan read (policy hook). */
+    virtual bool gcReadSoftHint(std::uint32_t chip,
+                                const nand::PageAddr &addr) = 0;
+
+    /** A victim finished erasing and was released to the free list. */
+    virtual void gcBlockErased(std::uint32_t chip,
+                               std::uint32_t block) = 0;
+
+    /** Free blocks were reclaimed: retry any held-back host flushes. */
+    virtual void gcBackpressureReleased() = 0;
+};
+
+class GcEngine
+{
+  public:
+    /**
+     * @param mirror  FtlStats whose GC counters (gcCollections,
+     *                gcRelocatedPages, erases, nandReads, readRetries)
+     *                the engine keeps in sync with its own GcStats.
+     */
+    GcEngine(const ssd::SsdConfig &config,
+             std::vector<ssd::ChipUnit> &chips,
+             std::vector<BlockManager> &blockMgrs, MappingTable &mapping,
+             GcHost &host, std::unique_ptr<GcPolicy> policy,
+             FtlStats &mirror);
+
+    GcEngine(const GcEngine &) = delete;
+    GcEngine &operator=(const GcEngine &) = delete;
+
+    /** Start collecting on `chip` if below the low watermark. */
+    void maybeStart(std::uint32_t chip);
+
+    /** Is a collection in progress on `chip`? */
+    bool active(std::uint32_t chip) const { return gc_.at(chip).active; }
+
+    /** A relocation program was handed to the chip queue. */
+    void noteProgramIssued(std::uint32_t chip);
+
+    /**
+     * A relocation program completed on the die (called before the
+     * FTL's safety-check/mapping phase so a safety re-program can
+     * re-issue the batch).
+     */
+    void noteProgramComplete(std::uint32_t chip, SimTime tProg);
+
+    /** Resume the state machine after a relocation program applied. */
+    void resume(std::uint32_t chip);
+
+    const GcStats &stats() const { return stats_; }
+    const GcPolicy &policy() const { return *policy_; }
+
+  private:
+    /** Per-chip GC progress. */
+    struct ChipState
+    {
+        bool active = false;
+        std::uint32_t victim = 0;
+        std::uint32_t scanIndex = 0;     ///< next page slot to scan
+        std::uint32_t outstandingReads = 0;
+        std::uint32_t outstandingPrograms = 0;
+        bool scanDone = false;
+        bool erasing = false;
+        std::vector<FlushEntry> pending; ///< relocated pages to program
+    };
+
+    void continueOn(std::uint32_t chip);
+    void finishScanPage(std::uint32_t chip,
+                        std::uint32_t pageInBlockIdx);
+    void maybeDispatchProgram(std::uint32_t chip, bool force);
+    void eraseVictim(std::uint32_t chip);
+    Ppa encodePpa(std::uint32_t chip, const nand::PageAddr &addr) const;
+
+    const ssd::SsdConfig &config_;
+    std::vector<ssd::ChipUnit> &chips_;
+    std::vector<BlockManager> &blockMgrs_;
+    MappingTable &mapping_;
+    GcHost &host_;
+    std::unique_ptr<GcPolicy> policy_;
+    nand::NandGeometry geom_;
+    nand::AddressCodec codec_;
+    std::vector<ChipState> gc_;
+    GcStats stats_;
+    FtlStats &mirror_;
+};
+
+}  // namespace cubessd::ftl
+
+#endif  // CUBESSD_FTL_GC_H

@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "src/common/logging.h"
+#include "src/ftl/gc.h"
 
 namespace cubessd::metrics {
 
@@ -72,6 +73,21 @@ printCdf(std::ostream &out, const std::string &title,
     out << title << '\n';
     for (const auto &[x, f] : cdf)
         out << "  " << format(x, 1) << "  " << format(f, 4) << '\n';
+}
+
+Table
+gcStatsTable(const ftl::GcStats &stats)
+{
+    Table table({"GC metric", "value"});
+    table.row({"collections", std::to_string(stats.collections)});
+    table.row({"relocated pages",
+               std::to_string(stats.relocatedPages)});
+    table.row({"erases", std::to_string(stats.erases)});
+    table.row({"scan reads", std::to_string(stats.scanReads)});
+    table.row({"WL programs", std::to_string(stats.programs)});
+    table.row({"avg GC program latency (us)",
+               format(stats.avgProgramLatencyUs(), 1)});
+    return table;
 }
 
 PaperComparison::PaperComparison(std::string experiment)

@@ -14,6 +14,10 @@
 
 #include "src/common/stats.h"
 
+namespace cubessd::ftl {
+struct GcStats;
+}
+
 namespace cubessd::metrics {
 
 /**
@@ -46,6 +50,12 @@ std::string formatPercent(double fraction, int digits = 1);
 /** Print a (x, F(x)) CDF as two columns. */
 void printCdf(std::ostream &out, const std::string &title,
               const std::vector<std::pair<double, double>> &cdf);
+
+/**
+ * Render the GC subsystem's counters (collections, relocated pages,
+ * erases, GC-induced program latency) as a metric/value table.
+ */
+Table gcStatsTable(const ftl::GcStats &stats);
 
 /**
  * Collects paper-reported values next to measured ones and renders

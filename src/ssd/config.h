@@ -27,6 +27,12 @@ enum class FtlKind
 
 const char *ftlKindName(FtlKind kind);
 
+/** Victim-selection policy of the GC subsystem (src/ftl/gc.h). */
+enum class GcPolicyKind
+{
+    Greedy,    ///< fewest valid pages first (default)
+};
+
 /**
  * Per-technique switches for cubeFTL, for ablation studies: each of
  * the paper's four mechanisms can be disabled independently.
@@ -66,6 +72,16 @@ struct SsdConfig
     /** Throttle host flushes to a chip whose free-block count is at or
      *  below this, reserving the remaining blocks for GC progress. */
     std::uint32_t gcUrgentWatermark = 2;
+    /** GC victim-selection policy. */
+    GcPolicyKind gcPolicy = GcPolicyKind::Greedy;
+
+    /**
+     * Host submission-queue depth (NVMe-style). Requests beyond this
+     * many in flight wait in the host queue before entering the FTL.
+     * 0 = unbounded: every submission is dispatched at its arrival
+     * time, the behaviour of the original fire-and-forget path.
+     */
+    std::uint32_t hostQueueDepth = 0;
 
     FtlKind ftl = FtlKind::Page;
     /** Technique switches when ftl is Cube (ablations). */

@@ -1,0 +1,78 @@
+#include "src/ssd/host_queue.h"
+
+#include <algorithm>
+
+#include "src/ftl/ftl_base.h"
+
+namespace cubessd::ssd {
+
+HostQueue::HostQueue(sim::EventQueue &queue, ftl::FtlBase &ftl,
+                     std::uint32_t depth)
+    : queue_(queue), ftl_(ftl), depth_(depth)
+{
+}
+
+void
+HostQueue::submit(HostRequest req, CompletionFn done)
+{
+    if (req.id == 0)
+        req.id = nextId_++;
+    req.arrival = std::max(req.arrival, queue_.now());
+    ++stats_.submitted;
+    queue_.scheduleAt(req.arrival,
+                      [this, req, done = std::move(done)]() {
+                          admit(req, done);
+                      });
+}
+
+void
+HostQueue::admit(const HostRequest &req, const CompletionFn &done)
+{
+    if (depth_ != 0 && inFlight_ >= depth_) {
+        ++stats_.blockedSubmissions;
+        waiting_.emplace_back(req, done);
+        stats_.maxWaiting =
+            std::max<std::uint64_t>(stats_.maxWaiting, waiting_.size());
+        return;
+    }
+    start(req, done);
+}
+
+void
+HostQueue::start(const HostRequest &req, const CompletionFn &done)
+{
+    ++inFlight_;
+    const SimTime started = queue_.now();
+    stats_.queueWaitSum += started - req.arrival;
+
+    auto wrapped = [this, done, started](const Completion &c) {
+        Completion out = c;
+        out.start = started;
+        --inFlight_;
+        ++stats_.completed;
+        stats_.latencySum += out.latency();
+        // Hand the freed slot to the oldest waiter before the host
+        // sees the completion, so backpressure release is FIFO.
+        drainWaiting();
+        if (done)
+            done(out);
+    };
+
+    if (req.type == IoType::Read)
+        ftl_.hostRead(req, std::move(wrapped));
+    else
+        ftl_.hostWrite(req, std::move(wrapped));
+}
+
+void
+HostQueue::drainWaiting()
+{
+    while (!waiting_.empty() &&
+           (depth_ == 0 || inFlight_ < depth_)) {
+        auto [req, done] = std::move(waiting_.front());
+        waiting_.pop_front();
+        start(req, done);
+    }
+}
+
+}  // namespace cubessd::ssd

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * NVMe-style host submission/completion queue with a bounded queue
+ * depth.
+ *
+ * The host queue is the first stage of the request pipeline: every
+ * host request enters here, is admitted into the FTL when a device
+ * slot is free, and is timestamped at three points — arrival
+ * (submission), start (dispatch into the FTL), and finish
+ * (completion). With depth 0 the queue is unbounded and every request
+ * is dispatched at its arrival time, reproducing the original
+ * fire-and-forget `Ssd::submit` path exactly; with depth N > 0 the
+ * (N+1)-th in-flight submission waits (backpressure) until a
+ * completion frees a slot, which is what makes closed-loop QD sweeps
+ * and queueing-delay attribution possible.
+ */
+
+#ifndef CUBESSD_SSD_HOST_QUEUE_H
+#define CUBESSD_SSD_HOST_QUEUE_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "src/sim/event_queue.h"
+#include "src/ssd/request.h"
+
+namespace cubessd::ftl {
+class FtlBase;
+}
+
+namespace cubessd::ssd {
+
+/** Cumulative host-queue counters. */
+struct HostQueueStats
+{
+    std::uint64_t submitted = 0;   ///< requests entered
+    std::uint64_t completed = 0;   ///< requests finished
+    std::uint64_t blockedSubmissions = 0;  ///< had to wait for a slot
+    std::uint64_t maxWaiting = 0;  ///< high-water mark of the wait line
+    SimTime queueWaitSum = 0;      ///< total arrival -> start
+    SimTime latencySum = 0;        ///< total arrival -> finish
+
+    double
+    avgQueueWaitUs() const
+    {
+        return completed == 0
+            ? 0.0
+            : static_cast<double>(queueWaitSum) / 1000.0 /
+                  static_cast<double>(completed);
+    }
+
+    double
+    avgLatencyUs() const
+    {
+        return completed == 0
+            ? 0.0
+            : static_cast<double>(latencySum) / 1000.0 /
+                  static_cast<double>(completed);
+    }
+};
+
+class HostQueue
+{
+  public:
+    using CompletionFn = std::function<void(const Completion &)>;
+
+    /** @param depth  max in-flight requests; 0 = unbounded. */
+    HostQueue(sim::EventQueue &queue, ftl::FtlBase &ftl,
+              std::uint32_t depth);
+
+    HostQueue(const HostQueue &) = delete;
+    HostQueue &operator=(const HostQueue &) = delete;
+
+    /**
+     * Submit a request. It arrives at max(now, req.arrival), waits for
+     * a free slot if the queue is at depth, and `done` fires at
+     * completion with all three timestamps filled in.
+     */
+    void submit(HostRequest req, CompletionFn done);
+
+    std::uint32_t depth() const { return depth_; }
+    std::uint64_t inFlight() const { return inFlight_; }
+    /** Submissions currently waiting for a slot. */
+    std::size_t waiting() const { return waiting_.size(); }
+    const HostQueueStats &stats() const { return stats_; }
+
+  private:
+    void admit(const HostRequest &req, const CompletionFn &done);
+    void start(const HostRequest &req, const CompletionFn &done);
+    void drainWaiting();
+
+    sim::EventQueue &queue_;
+    ftl::FtlBase &ftl_;
+    std::uint32_t depth_;
+    std::uint64_t inFlight_ = 0;
+    std::uint64_t nextId_ = 1;
+    std::deque<std::pair<HostRequest, CompletionFn>> waiting_;
+    HostQueueStats stats_;
+};
+
+}  // namespace cubessd::ssd
+
+#endif  // CUBESSD_SSD_HOST_QUEUE_H

@@ -33,10 +33,15 @@ struct Completion
     std::uint64_t id = 0;
     IoType type = IoType::Read;
     std::uint32_t pages = 1;
-    SimTime arrival = 0;
+    SimTime arrival = 0;   ///< submitted to the host queue
+    SimTime start = 0;     ///< dispatched into the FTL (HostQueue)
     SimTime finish = 0;
 
     SimTime latency() const { return finish - arrival; }
+    /** Time spent waiting for a device queue slot. */
+    SimTime queueWait() const { return start - arrival; }
+    /** Device-side service time (dispatch to completion). */
+    SimTime serviceTime() const { return finish - start; }
 };
 
 }  // namespace cubessd::ssd

@@ -62,6 +62,9 @@ Ssd::Ssd(const SsdConfig &config)
         break;
       }
     }
+
+    hostQueue_ = std::make_unique<HostQueue>(queue_, *ftl_,
+                                             config_.hostQueueDepth);
 }
 
 Ssd::~Ssd() = default;
@@ -77,16 +80,7 @@ void
 Ssd::submit(HostRequest req,
             std::function<void(const Completion &)> done)
 {
-    if (req.id == 0)
-        req.id = nextRequestId_++;
-    const SimTime when = std::max(req.arrival, queue_.now());
-    req.arrival = when;
-    queue_.scheduleAt(when, [this, req, done = std::move(done)]() {
-        if (req.type == IoType::Read)
-            ftl_->hostRead(req, done);
-        else
-            ftl_->hostWrite(req, done);
-    });
+    hostQueue_->submit(std::move(req), std::move(done));
 }
 
 Completion

@@ -28,6 +28,7 @@
 #include "src/ssd/channel.h"
 #include "src/ssd/chip_unit.h"
 #include "src/ssd/config.h"
+#include "src/ssd/host_queue.h"
 #include "src/ssd/request.h"
 
 namespace cubessd::ftl {
@@ -49,6 +50,8 @@ class Ssd
     sim::EventQueue &queue() { return queue_; }
     ftl::FtlBase &ftl() { return *ftl_; }
     const ftl::FtlBase &ftl() const { return *ftl_; }
+    HostQueue &hostQueue() { return *hostQueue_; }
+    const HostQueue &hostQueue() const { return *hostQueue_; }
 
     std::uint32_t chipCount() const
     {
@@ -63,8 +66,9 @@ class Ssd
     void setAging(const nand::AgingState &aging);
 
     /**
-     * Submit a request; it enters the device at
-     * max(now, req.arrival) and `done` fires at completion.
+     * Submit a request through the host queue; it arrives at
+     * max(now, req.arrival), waits for a queue slot if the configured
+     * queue depth is exhausted, and `done` fires at completion.
      */
     void submit(HostRequest req,
                 std::function<void(const Completion &)> done);
@@ -85,7 +89,7 @@ class Ssd
     std::vector<nand::NandChip> chips_;
     std::vector<ChipUnit> units_;
     std::unique_ptr<ftl::FtlBase> ftl_;
-    std::uint64_t nextRequestId_ = 1;
+    std::unique_ptr<HostQueue> hostQueue_;
 };
 
 }  // namespace cubessd::ssd

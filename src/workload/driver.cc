@@ -31,10 +31,10 @@ Driver::prefill(double overwriteFraction)
         req.pages = pages;
         nextLba += pages;
         ++outstanding;
-        ssd_.submit(req,
-                    [&outstanding](const ssd::Completion &) {
-                        --outstanding;
-                    });
+        ssd_.hostQueue().submit(req,
+                                [&outstanding](const ssd::Completion &) {
+                                    --outstanding;
+                                });
     };
     while (nextLba < fill || outstanding > 0) {
         while (nextLba < fill && outstanding < kDepth)
@@ -55,10 +55,10 @@ Driver::prefill(double overwriteFraction)
             req.pages = 1;
             --remaining;
             ++outstanding;
-            ssd_.submit(req,
-                        [&outstanding](const ssd::Completion &) {
-                            --outstanding;
-                        });
+            ssd_.hostQueue().submit(
+                req, [&outstanding](const ssd::Completion &) {
+                    --outstanding;
+                });
         }
         if (outstanding > 0 && !ssd_.queue().step())
             panic("Driver::prefill: queue drained with I/O outstanding");
@@ -86,11 +86,13 @@ Driver::submitOne(std::uint32_t thread)
     ++outstanding_;
     ++threads_[thread].outstanding;
 
-    ssd_.submit(req, [this, thread](const ssd::Completion &c) {
+    ssd_.hostQueue().submit(req, [this,
+                                  thread](const ssd::Completion &c) {
         auto &rec = c.type == ssd::IoType::Read
                         ? result_->readLatencyUs
                         : result_->writeLatencyUs;
         rec.add(toMicroseconds(c.latency()));
+        result_->queueWaitUs.add(toMicroseconds(c.queueWait()));
         ++result_->completedRequests;
         --outstanding_;
         auto &t = threads_[thread];

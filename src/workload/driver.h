@@ -33,6 +33,9 @@ struct RunResult
     double iops = 0.0;
     LatencyRecorder readLatencyUs;
     LatencyRecorder writeLatencyUs;
+    /** Time requests waited for a host-queue slot (0 when the queue
+     *  depth is unbounded). */
+    LatencyRecorder queueWaitUs;
 };
 
 class Driver

@@ -33,6 +33,7 @@ struct Options
     std::uint64_t requests = 30000;
     std::uint64_t seed = 42;
     double prefillOverwrite = 0.2;
+    std::uint32_t qd = 0;
     bool verbose = false;
 };
 
@@ -55,6 +56,10 @@ usage()
         "  --prefill-overwrite <frac>     random-overwrite fraction of the\n"
         "                                 working set before measuring\n"
         "                                 (default 0.2)\n"
+        "  --qd <n>                       closed-loop host queue depth:\n"
+        "                                 keep n requests in flight through\n"
+        "                                 the bounded host queue (default:\n"
+        "                                 the workload's native pacing)\n"
         "  --verbose                      print per-chip statistics\n"
         "  --help                         this text\n";
 }
@@ -114,6 +119,8 @@ parseArgs(int argc, char **argv)
             opt.seed = static_cast<std::uint64_t>(std::atoll(value()));
         } else if (arg == "--prefill-overwrite") {
             opt.prefillOverwrite = std::atof(value());
+        } else if (arg == "--qd") {
+            opt.qd = static_cast<std::uint32_t>(std::atoi(value()));
         } else if (arg == "--verbose") {
             opt.verbose = true;
         } else {
@@ -134,9 +141,17 @@ main(int argc, char **argv)
     config.chip.geometry.blocksPerChip = opt.blocks;
     config.ftl = parseFtl(opt.ftl);
     config.seed = opt.seed;
+    config.hostQueueDepth = opt.qd;
     ssd::Ssd dev(config);
 
-    const auto spec = parseWorkload(opt.workload);
+    auto spec = parseWorkload(opt.workload);
+    if (opt.qd > 0) {
+        // Closed-loop QD sweep: a steady stream of `qd` in-flight
+        // requests through the bounded host queue, replacing the
+        // workload's native burst pacing.
+        spec.burstLength = 0;
+        spec.queueDepth = opt.qd;
+    }
     std::cout << "device: " << dev.chipCount() << " chips x "
               << opt.blocks << " blocks ("
               << dev.logicalPages() *
@@ -181,11 +196,27 @@ main(int argc, char **argv)
     table.row({"leader / follower programs",
                std::to_string(stats.leaderPrograms) + " / " +
                    std::to_string(stats.followerPrograms)});
-    table.row({"GC collections", std::to_string(stats.gcCollections)});
     table.row({"read retries", std::to_string(stats.readRetries)});
     table.row({"safety re-programs",
                std::to_string(stats.safetyReprograms)});
+    if (opt.qd > 0) {
+        const double meanLatencyUs =
+            (result.readLatencyUs.mean() * result.readLatencyUs.count() +
+             result.writeLatencyUs.mean() *
+                 result.writeLatencyUs.count()) /
+            static_cast<double>(result.readLatencyUs.count() +
+                                result.writeLatencyUs.count());
+        table.row({"host queue depth", std::to_string(opt.qd)});
+        table.row({"mean latency (ms)",
+                   metrics::format(meanLatencyUs / 1000.0, 3)});
+        table.row({"mean queue wait (ms)",
+                   metrics::format(result.queueWaitUs.mean() / 1000.0,
+                                   3)});
+    }
     table.print(std::cout);
+
+    std::cout << '\n';
+    metrics::gcStatsTable(dev.ftl().gcStats()).print(std::cout);
 
     if (config.ftl == ssd::FtlKind::Cube ||
         config.ftl == ssd::FtlKind::CubeMinus) {
