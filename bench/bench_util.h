@@ -6,14 +6,24 @@
  * values; EXPERIMENTS.md quotes these outputs. By default benches run
  * on a scaled device (128 blocks per chip, ~9 GB) so the whole suite
  * finishes in minutes; set CUBESSD_FULL=1 in the environment for the
- * paper's full 428-blocks-per-chip (~32 GB) configuration.
+ * paper's full 428-blocks-per-chip (~32 GB) configuration, or
+ * CUBESSD_SMOKE=1 for a further-reduced CI smoke run (fewer requests
+ * and seeds; the numbers are not publication-grade, only the plumbing
+ * is exercised).
+ *
+ * The figure benches additionally write their series to a silent
+ * BENCH_<figure>.json sidecar in the working directory, so CI can
+ * archive machine-readable results without perturbing the quoted
+ * stdout.
  */
 
 #ifndef CUBESSD_BENCH_BENCH_UTIL_H
 #define CUBESSD_BENCH_BENCH_UTIL_H
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "src/cubessd.h"
 
@@ -24,6 +34,37 @@ fullScale()
 {
     const char *env = std::getenv("CUBESSD_FULL");
     return env != nullptr && env[0] == '1';
+}
+
+inline bool
+smokeScale()
+{
+    const char *env = std::getenv("CUBESSD_SMOKE");
+    return env != nullptr && env[0] == '1';
+}
+
+/** Number of measured requests: the bench's full count, cut 10x for
+ *  CI smoke runs. */
+inline std::uint64_t
+benchRequests(std::uint64_t full)
+{
+    return smokeScale() ? full / 10 : full;
+}
+
+/** Human tag for the active scale, recorded in the JSON sidecars. */
+inline const char *
+scaleName()
+{
+    if (smokeScale())
+        return "smoke";
+    return fullScale() ? "full" : "scaled";
+}
+
+/** Open the silent machine-readable sidecar for a figure bench. */
+inline std::ofstream
+openBenchJson(const std::string &figure)
+{
+    return std::ofstream("BENCH_" + figure + ".json");
 }
 
 /** Device configuration used by the system-level benches (Sec. 6.1). */
@@ -71,16 +112,18 @@ runWorkload(ssd::FtlKind kind, const workload::WorkloadSpec &spec,
     return result;
 }
 
-/** Mean IOPS over three seeds (burst pacing is stochastic). */
+/** Mean IOPS over several seeds (burst pacing is stochastic); smoke
+ *  runs keep only the first two seeds. */
 inline double
 meanIops(ssd::FtlKind kind, const workload::WorkloadSpec &spec,
          const nand::AgingState &aging, std::uint64_t requests)
 {
     double sum = 0.0;
     const std::uint64_t seeds[] = {42, 137, 999, 7, 2026};
-    for (std::uint64_t seed : seeds)
-        sum += runWorkload(kind, spec, aging, seed, requests).iops;
-    return sum / static_cast<double>(std::size(seeds));
+    const std::size_t count = smokeScale() ? 2 : std::size(seeds);
+    for (std::size_t i = 0; i < count; ++i)
+        sum += runWorkload(kind, spec, aging, seeds[i], requests).iops;
+    return sum / static_cast<double>(count);
 }
 
 inline const char *

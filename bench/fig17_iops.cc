@@ -31,7 +31,7 @@ main()
                       : "(scaled device; set CUBESSD_FULL=1 for the "
                         "paper's 32 GB configuration)\n");
 
-    const std::uint64_t requests = 30000;
+    const std::uint64_t requests = bench::benchRequests(30000);
     const nand::AgingState agings[] = {
         {0, 0.0}, {2000, 1.0}, {2000, 12.0}};
 
@@ -41,8 +41,25 @@ main()
     double proxyGainEol = 0.0, bestGainEol = 0.0;
     std::string bestWorkloadEol;
 
+    // Machine-readable sidecar for CI artifacts; stdout is unchanged.
+    auto jsonOut = bench::openBenchJson("fig17_iops");
+    metrics::JsonWriter json(jsonOut);
+    json.beginObject();
+    json.field("figure", "fig17_iops");
+    json.field("scale", bench::scaleName());
+    json.field("requests", requests);
+    json.key("agings");
+    json.beginArray();
+
     for (const auto &aging : agings) {
         std::cout << "\n-- " << bench::agingName(aging) << " --\n";
+        json.beginObject();
+        json.field("name", bench::agingName(aging));
+        json.field("pe_cycles",
+                   static_cast<std::uint64_t>(aging.peCycles));
+        json.field("retention_months", aging.retentionMonths);
+        json.key("workloads");
+        json.beginArray();
         metrics::Table table({"workload", "pageFTL (IOPS)", "vertFTL",
                               "cubeFTL", "vert/page", "cube/page"});
         for (const auto &spec : workload::allWorkloads()) {
@@ -60,6 +77,12 @@ main()
                        metrics::format(cube, 0),
                        metrics::format(vert / page, 2),
                        metrics::format(cube / page, 2)});
+            json.beginObject();
+            json.field("name", spec.name);
+            json.field("page_iops", page);
+            json.field("vert_iops", vert);
+            json.field("cube_iops", cube);
+            json.endObject();
 
             const double gain = cube / page - 1.0;
             if (aging.peCycles == 0 && gain > bestCubeGainFresh) {
@@ -76,8 +99,13 @@ main()
                 }
             }
         }
+        json.endArray();
+        json.endObject();
         table.print(std::cout);
     }
+    json.endArray();
+    json.endObject();
+    jsonOut << '\n';
 
     metrics::PaperComparison cmp("Fig. 17 (IOPS)");
     cmp.add("max cubeFTL gain vs pageFTL, fresh",

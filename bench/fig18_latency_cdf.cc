@@ -31,7 +31,7 @@ main()
     spec.burstLength = 32;
     spec.interBurstGap = 25 * kMillisecond;
     const nand::AgingState fresh{0, 0.0};
-    const std::uint64_t requests = 30000;
+    const std::uint64_t requests = bench::benchRequests(30000);
 
     const ssd::FtlKind kinds[] = {
         ssd::FtlKind::Page, ssd::FtlKind::Vert, ssd::FtlKind::CubeMinus,
@@ -41,6 +41,34 @@ main()
     for (const auto kind : kinds)
         results[kind] =
             bench::runWorkload(kind, spec, fresh, 42, requests);
+
+    // Machine-readable sidecar for CI artifacts; stdout is unchanged.
+    // Per FTL: full latency summaries (incl. p99.9), the per-phase
+    // decomposition, and channel/die utilization.
+    {
+        auto jsonOut = bench::openBenchJson("fig18_latency_cdf");
+        metrics::JsonWriter json(jsonOut);
+        json.beginObject();
+        json.field("figure", "fig18_latency_cdf");
+        json.field("scale", bench::scaleName());
+        json.field("requests", requests);
+        json.field("workload", spec.name);
+        json.key("ftls");
+        json.beginObject();
+        for (const auto kind : kinds) {
+            json.key(ssd::ftlKindName(kind));
+            json.beginObject();
+            json.key("requests");
+            metrics::writeRequestMetrics(json,
+                                         results[kind].requestMetrics);
+            json.key("utilization");
+            metrics::writeUtilization(json, results[kind].utilization);
+            json.endObject();
+        }
+        json.endObject();
+        json.endObject();
+        jsonOut << '\n';
+    }
 
     for (const bool isWrite : {true, false}) {
         std::cout << "\n-- " << (isWrite ? "write" : "read")

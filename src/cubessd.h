@@ -28,7 +28,10 @@
 #include "src/ftl/page_ftl.h"
 #include "src/ftl/program_order.h"
 #include "src/ftl/vert_ftl.h"
+#include "src/metrics/histogram.h"
+#include "src/metrics/json.h"
 #include "src/metrics/report.h"
+#include "src/metrics/request_metrics.h"
 #include "src/nand/chip.h"
 #include "src/sim/event_queue.h"
 #include "src/ssd/ssd.h"

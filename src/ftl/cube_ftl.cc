@@ -128,21 +128,23 @@ CubeFtl::readShiftFor(std::uint32_t chip, const nand::PageAddr &addr)
 {
     if (!features_.ort)
         return 0;
-    const MilliVolt shift = ort_.lookup(chip, addr.block, addr.layer);
-    if (shift != 0)
+    const auto shift = ort_.lookup(chip, addr.block, addr.layer);
+    if (shift)
         ++cubeStats_.ortGuidedReads;
-    return shift;
+    return shift.value_or(0);
 }
 
 bool
 CubeFtl::readSoftHint(std::uint32_t chip, const nand::PageAddr &addr)
 {
-    // A non-default ORT entry means this h-layer has already needed
+    // A cached ORT entry means this h-layer has already needed
     // retries: its pages are noisy, so start with the soft decode
-    // (the paper's Sec. 8 leader-informed ECC idea).
+    // (the paper's Sec. 8 leader-informed ECC idea). Entry presence —
+    // not a non-zero shift — is the signal: a calibrated 0 mV entry
+    // still marks a noisy layer.
     if (!features_.eccHint || !features_.ort)
         return false;
-    return ort_.lookup(chip, addr.block, addr.layer) != 0;
+    return ort_.contains(chip, addr.block, addr.layer);
 }
 
 void

@@ -107,9 +107,10 @@ FtlBase::hostRead(const ssd::HostRequest &req, CompletionFn done)
         ssd::HostRequest req;
         CompletionFn done;
         std::uint32_t remaining;
+        ssd::PhaseTimes phases;  ///< summed over the request's pages
     };
     auto ctx = std::make_shared<ReadContext>(
-        ReadContext{req, std::move(done), req.pages});
+        ReadContext{req, std::move(done), req.pages, {}});
 
     auto finishPiece = [this, ctx]() {
         if (--ctx->remaining == 0 && ctx->done) {
@@ -119,6 +120,7 @@ FtlBase::hostRead(const ssd::HostRequest &req, CompletionFn done)
             c.pages = ctx->req.pages;
             c.arrival = ctx->req.arrival;
             c.finish = queue_.now();
+            c.phases = ctx->phases;
             ctx->done(c);
         }
     };
@@ -132,12 +134,14 @@ FtlBase::hostRead(const ssd::HostRequest &req, CompletionFn done)
         // 1) write buffer, 2) in-flight flushes, 3) NAND.
         if (buffer_.lookup(lba) || inFlight_.contains(lba)) {
             ++stats_.bufferHits;
+            ctx->phases.buffer += config_.bufferReadTime;
             queue_.schedule(config_.bufferReadTime, finishPiece);
             continue;
         }
         const Ppa ppa = mapping_.lookup(lba);
         if (ppa == kInvalidPpa) {
             ++stats_.unmappedReads;
+            ctx->phases.buffer += config_.bufferReadTime;
             queue_.schedule(config_.bufferReadTime, finishPiece);
             continue;
         }
@@ -149,12 +153,15 @@ FtlBase::hostRead(const ssd::HostRequest &req, CompletionFn done)
         op.readShiftMv = readShiftFor(chip, addr);
         op.readSoftHint = readSoftHint(chip, addr);
         op.highPriority = true;
-        op.done = [this, chip, addr, finishPiece](
+        op.done = [this, ctx, chip, addr, finishPiece](
                       const ssd::NandOpResult &r) {
             stats_.readRetries +=
                 static_cast<std::uint64_t>(r.read.numRetries);
             if (r.read.uncorrectable)
                 ++stats_.uncorrectableReads;
+            ctx->phases.bus += r.busTime;
+            ctx->phases.die += r.dieTime - r.read.tRetry;
+            ctx->phases.retry += r.read.tRetry;
             onReadComplete(chip, addr, r.read);
             finishPiece();
         };
@@ -212,6 +219,9 @@ FtlBase::completeWrite(const ssd::HostRequest &req,
         c.pages = req.pages;
         c.arrival = req.arrival;
         c.finish = queue_.now();
+        // Writes complete at the DRAM buffer; any extra latency is
+        // stall time waiting for flushes (the unattributed remainder).
+        c.phases.buffer = config_.bufferReadTime;
         done(c);
     });
 }

@@ -10,9 +10,10 @@ Ort::Ort(std::uint32_t chips, std::uint32_t blocksPerChip,
          std::uint32_t layersPerBlock)
     : blocksPerChip_(blocksPerChip), layersPerBlock_(layersPerBlock)
 {
-    table_.assign(static_cast<std::size_t>(chips) * blocksPerChip *
-                      layersPerBlock,
-                  0);
+    const std::size_t entries = static_cast<std::size_t>(chips) *
+                                blocksPerChip * layersPerBlock;
+    table_.assign(entries, 0);
+    valid_.assign(entries, false);
 }
 
 std::size_t
@@ -28,14 +29,16 @@ Ort::index(std::uint32_t chip, std::uint32_t block,
     return idx;
 }
 
-MilliVolt
-Ort::lookup(std::uint32_t chip, std::uint32_t block,
-            std::uint32_t layer) const
+std::optional<MilliVolt>
+Ort::lookup(std::uint32_t chip, std::uint32_t block, std::uint32_t layer)
 {
-    const auto v = table_[index(chip, block, layer)];
-    if (v != 0)
-        ++hits_;
-    return v;
+    const std::size_t idx = index(chip, block, layer);
+    if (!valid_[idx]) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    return table_[idx];
 }
 
 void
@@ -46,16 +49,20 @@ Ort::update(std::uint32_t chip, std::uint32_t block, std::uint32_t layer,
         std::numeric_limits<std::int16_t>::min(),
         std::min<MilliVolt>(std::numeric_limits<std::int16_t>::max(),
                             shiftMv));
-    table_[index(chip, block, layer)] =
-        static_cast<std::int16_t>(clamped);
+    const std::size_t idx = index(chip, block, layer);
+    table_[idx] = static_cast<std::int16_t>(clamped);
+    valid_[idx] = true;
     ++updates_;
 }
 
 void
 Ort::resetBlock(std::uint32_t chip, std::uint32_t block)
 {
-    for (std::uint32_t l = 0; l < layersPerBlock_; ++l)
-        table_[index(chip, block, l)] = 0;
+    for (std::uint32_t l = 0; l < layersPerBlock_; ++l) {
+        const std::size_t idx = index(chip, block, l);
+        table_[idx] = 0;
+        valid_[idx] = false;
+    }
 }
 
 }  // namespace cubessd::ftl

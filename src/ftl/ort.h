@@ -10,12 +10,24 @@
  *
  * Storage is 2 bytes per h-layer — the paper's space-overhead claim
  * (~0.001% of capacity; 10 MB for a 1 TB SSD) — exposed via bytes().
+ * A shift of 0 mV is a legitimate cached value (the retry walk can
+ * calibrate back to the chip default), so entry presence is tracked
+ * by an explicit validity bit rather than by a zero sentinel; in a
+ * real controller the bit lives in-band, so bytes() stays at 2 per
+ * h-layer.
+ *
+ * Stats-counter convention (shared with Channel, ChipUnit, and
+ * NandChip): hit/update counters are plain members mutated only from
+ * non-const member functions — lookup() counts a hit or a miss and is
+ * therefore non-const; observers read the counters through const
+ * accessors. No `mutable` state.
  */
 
 #ifndef CUBESSD_FTL_ORT_H
 #define CUBESSD_FTL_ORT_H
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "src/common/types.h"
@@ -28,9 +40,24 @@ class Ort
     Ort(std::uint32_t chips, std::uint32_t blocksPerChip,
         std::uint32_t layersPerBlock);
 
-    /** Most recent good shift for the h-layer; 0 = chip default. */
-    MilliVolt lookup(std::uint32_t chip, std::uint32_t block,
-                     std::uint32_t layer) const;
+    /**
+     * Most recent good shift for the h-layer, or std::nullopt when
+     * the h-layer has no cached entry (chip default applies). A
+     * cached 0 mV shift is a valid entry and counts as a hit.
+     */
+    std::optional<MilliVolt> lookup(std::uint32_t chip,
+                                    std::uint32_t block,
+                                    std::uint32_t layer);
+
+    /** Entry presence without touching hit/miss accounting (for
+     *  secondary consumers such as the ECC-mode hint, so one host
+     *  read counts exactly one hit or miss). */
+    bool
+    contains(std::uint32_t chip, std::uint32_t block,
+             std::uint32_t layer) const
+    {
+        return valid_[index(chip, block, layer)];
+    }
 
     /** Record the shift that finally decoded on this h-layer. */
     void update(std::uint32_t chip, std::uint32_t block,
@@ -43,6 +70,7 @@ class Ort
     std::size_t bytes() const { return table_.size() * sizeof(table_[0]); }
 
     std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
     std::uint64_t updates() const { return updates_; }
 
   private:
@@ -52,7 +80,9 @@ class Ort
     std::uint32_t blocksPerChip_;
     std::uint32_t layersPerBlock_;
     std::vector<std::int16_t> table_;
-    mutable std::uint64_t hits_ = 0;
+    std::vector<bool> valid_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
     std::uint64_t updates_ = 0;
 };
 

@@ -1,0 +1,65 @@
+#include "src/metrics/request_metrics.h"
+
+namespace cubessd::metrics {
+
+void
+PhaseHistograms::merge(const PhaseHistograms &other)
+{
+    queueWait.merge(other.queueWait);
+    buffer.merge(other.buffer);
+    bus.merge(other.bus);
+    die.merge(other.die);
+    retry.merge(other.retry);
+}
+
+void
+RequestMetrics::record(const ssd::Completion &completion)
+{
+    const std::size_t i = index(completion.type);
+    latency_[i].add(static_cast<std::uint64_t>(completion.latency()));
+    auto &p = phases_[i];
+    p.queueWait.add(
+        static_cast<std::uint64_t>(completion.phases.queueWait));
+    p.buffer.add(static_cast<std::uint64_t>(completion.phases.buffer));
+    p.bus.add(static_cast<std::uint64_t>(completion.phases.bus));
+    p.die.add(static_cast<std::uint64_t>(completion.phases.die));
+    p.retry.add(static_cast<std::uint64_t>(completion.phases.retry));
+}
+
+void
+RequestMetrics::merge(const RequestMetrics &other)
+{
+    for (std::size_t i = 0; i < 2; ++i) {
+        latency_[i].merge(other.latency_[i]);
+        phases_[i].merge(other.phases_[i]);
+    }
+}
+
+namespace {
+
+double
+average(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+}  // namespace
+
+double
+Utilization::averageChannel() const
+{
+    return average(channel);
+}
+
+double
+Utilization::averageDie() const
+{
+    return average(die);
+}
+
+}  // namespace cubessd::metrics

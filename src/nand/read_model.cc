@@ -82,6 +82,7 @@ ReadModel::read(std::uint32_t block, double q, const AgingState &aging,
     }
 
     out.numRetries = attempts;
+    out.tRetry = params_.tSense * static_cast<SimTime>(attempts);
     out.tRead = params_.tSense * static_cast<SimTime>(1 + attempts) +
                 decodeTime;
     return out;

@@ -32,6 +32,9 @@ namespace cubessd::nand {
 struct ReadOutcome
 {
     SimTime tRead = 0;          ///< sense time including all retries
+    /** Portion of tRead spent on extra (retry) sense operations —
+     *  the observability layer's "retry" phase. */
+    SimTime tRetry = 0;
     int numRetries = 0;         ///< extra sense operations needed
     double rawBerNorm = 0.0;    ///< normalized raw BER at final attempt
     bool uncorrectable = false; ///< ECC failed even after max retries

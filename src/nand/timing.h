@@ -6,6 +6,8 @@
 #ifndef CUBESSD_NAND_TIMING_H
 #define CUBESSD_NAND_TIMING_H
 
+#include <cmath>
+
 #include "src/common/types.h"
 #include "src/common/units.h"
 
@@ -22,12 +24,15 @@ struct NandTiming
     /** ONFI-style bus speed for page transfers (~800 MB/s). */
     double busNsPerByte = 1.25;
 
-    /** Bus occupancy of transferring `bytes` to/from the chip. */
+    /** Bus occupancy of transferring `bytes` to/from the chip. The
+     *  bus is held for whole clock edges, so fractional nanoseconds
+     *  round *up*: truncating would under-count occupancy for every
+     *  transfer size that is not a multiple of the byte clock. */
     SimTime
     busTransferTime(std::uint64_t bytes) const
     {
-        return static_cast<SimTime>(busNsPerByte *
-                                    static_cast<double>(bytes));
+        return static_cast<SimTime>(
+            std::ceil(busNsPerByte * static_cast<double>(bytes)));
     }
 };
 

@@ -50,6 +50,8 @@ ChipUnit::execute(NandOp op)
         const SimTime senseEnd = now + result.read.tRead;
         const SimTime tx = timing.busTransferTime(geom.pageSizeBytes);
         const SimTime txStart = channel_.reserve(senseEnd, tx);
+        result.busTime = tx;
+        result.dieTime = result.read.tRead;
         result.end = txStart + tx;
         break;
       }
@@ -59,11 +61,14 @@ ChipUnit::execute(NandOp op)
             op.tokens.size());
         const SimTime txStart = channel_.reserve(now, tx);
         result.program = chip_.programWl(op.wl, op.cmd, op.tokens);
+        result.busTime = tx;
+        result.dieTime = result.program.tProg;
         result.end = txStart + tx + result.program.tProg;
         break;
       }
       case NandOp::Kind::Erase: {
-        result.end = now + chip_.eraseBlock(op.block);
+        result.dieTime = chip_.eraseBlock(op.block);
+        result.end = now + result.dieTime;
         break;
       }
     }
@@ -71,6 +76,8 @@ ChipUnit::execute(NandOp op)
     queue_.scheduleAt(result.end,
                       [this, result, done = std::move(op.done)]() {
                           busy_ = false;
+                          busyTime_ += result.end - result.start;
+                          ++opsCompleted_;
                           if (done)
                               done(result);
                           tryStart();

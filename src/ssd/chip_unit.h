@@ -34,6 +34,8 @@ struct NandOpResult
 {
     SimTime start = 0;   ///< when the die began the operation
     SimTime end = 0;     ///< when the die became free again
+    SimTime busTime = 0; ///< channel occupancy of this operation
+    SimTime dieTime = 0; ///< on-die time (sense+decode / ISPP / erase)
     nand::ReadOutcome read{};          ///< valid for reads
     nand::WlProgramResult program{};   ///< valid for programs
 };
@@ -70,6 +72,14 @@ class ChipUnit
     bool idle() const { return !busy_ && pending_.empty(); }
     std::size_t queueDepth() const { return pending_.size(); }
 
+    /** Total time the die has been busy (whole operation spans,
+     *  including their bus phases) — for utilization stats. Mutated
+     *  only from the non-const completion path (see the Ort
+     *  stats-counter convention). */
+    SimTime busyTime() const { return busyTime_; }
+    /** Operations executed to completion. */
+    std::uint64_t opsCompleted() const { return opsCompleted_; }
+
     nand::NandChip &chip() { return chip_; }
     const nand::NandChip &chip() const { return chip_; }
 
@@ -82,6 +92,8 @@ class ChipUnit
     sim::EventQueue &queue_;
     std::deque<NandOp> pending_;
     bool busy_ = false;
+    SimTime busyTime_ = 0;
+    std::uint64_t opsCompleted_ = 0;
 };
 
 }  // namespace cubessd::ssd

@@ -48,6 +48,7 @@ HostQueue::start(const HostRequest &req, const CompletionFn &done)
     auto wrapped = [this, done, started](const Completion &c) {
         Completion out = c;
         out.start = started;
+        out.phases.queueWait = out.start - out.arrival;
         --inFlight_;
         ++stats_.completed;
         stats_.latencySum += out.latency();

@@ -27,6 +27,29 @@ struct HostRequest
     SimTime arrival = 0;   ///< submission time
 };
 
+/**
+ * Per-request phase decomposition (the request trace record).
+ *
+ * Each stage of the pipeline attributes the time it spends on the
+ * request as it passes through: the host queue fills queueWait, the
+ * FTL fills buffer, and the chip scheduler's per-operation spans
+ * (NandOpResult) are folded into bus / die / retry. Attribution is
+ * observation-only — it never feeds back into simulated timing. For
+ * multi-page requests served by several dies in parallel the device
+ * phases are *sums of per-page service times*, so they can exceed the
+ * request's wall-clock latency; time blocked behind unrelated work
+ * (flushes, other dies) is the remainder latency() - queueWait -
+ * phases and is not attributed.
+ */
+struct PhaseTimes
+{
+    SimTime queueWait = 0;  ///< waiting for a host-queue slot
+    SimTime buffer = 0;     ///< DRAM write-buffer service (hits, writes)
+    SimTime bus = 0;        ///< channel occupancy of page transfers
+    SimTime die = 0;        ///< sense/ISPP time excluding retries
+    SimTime retry = 0;      ///< extra senses from read retries
+};
+
 /** Completion record emitted when a request finishes. */
 struct Completion
 {
@@ -36,6 +59,7 @@ struct Completion
     SimTime arrival = 0;   ///< submitted to the host queue
     SimTime start = 0;     ///< dispatched into the FTL (HostQueue)
     SimTime finish = 0;
+    PhaseTimes phases{};   ///< where the time went (trace record)
 
     SimTime latency() const { return finish - arrival; }
     /** Time spent waiting for a device queue slot. */

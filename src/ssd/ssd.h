@@ -59,6 +59,14 @@ class Ssd
     }
     nand::NandChip &chip(std::uint32_t i) { return chips_[i]; }
     ChipUnit &chipUnit(std::uint32_t i) { return units_[i]; }
+    const ChipUnit &chipUnit(std::uint32_t i) const { return units_[i]; }
+
+    std::uint32_t channelCount() const
+    {
+        return static_cast<std::uint32_t>(channels_.size());
+    }
+    /** Shared-bus occupancy bookkeeping (utilization stats). */
+    const Channel &channel(std::uint32_t i) const { return channels_[i]; }
 
     std::uint64_t logicalPages() const { return config_.logicalPages(); }
 

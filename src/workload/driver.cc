@@ -93,6 +93,7 @@ Driver::submitOne(std::uint32_t thread)
                         : result_->writeLatencyUs;
         rec.add(toMicroseconds(c.latency()));
         result_->queueWaitUs.add(toMicroseconds(c.queueWait()));
+        result_->requestMetrics.record(c);
         ++result_->completedRequests;
         --outstanding_;
         auto &t = threads_[thread];
@@ -130,6 +131,15 @@ Driver::run(std::uint64_t requests)
     outstanding_ = 0;
     runStart_ = ssd_.queue().now();
 
+    // Busy-time snapshots so utilization covers only the measured
+    // window (prefill activity is excluded).
+    std::vector<SimTime> channelBusy0(ssd_.channelCount());
+    for (std::uint32_t i = 0; i < ssd_.channelCount(); ++i)
+        channelBusy0[i] = ssd_.channel(i).busyTime();
+    std::vector<SimTime> dieBusy0(ssd_.chipCount());
+    for (std::uint32_t i = 0; i < ssd_.chipCount(); ++i)
+        dieBusy0[i] = ssd_.chipUnit(i).busyTime();
+
     const auto &spec = generator_.spec();
     if (spec.burstLength == 0) {
         threads_.assign(1, ThreadState{});
@@ -163,6 +173,21 @@ Driver::run(std::uint64_t requests)
         ? static_cast<double>(result.completedRequests) /
               toSeconds(result.elapsed)
         : 0.0;
+
+    result.utilization.window = result.elapsed;
+    if (result.elapsed > 0) {
+        const double window = static_cast<double>(result.elapsed);
+        result.utilization.channel.resize(ssd_.channelCount());
+        for (std::uint32_t i = 0; i < ssd_.channelCount(); ++i) {
+            result.utilization.channel[i] = static_cast<double>(
+                ssd_.channel(i).busyTime() - channelBusy0[i]) / window;
+        }
+        result.utilization.die.resize(ssd_.chipCount());
+        for (std::uint32_t i = 0; i < ssd_.chipCount(); ++i) {
+            result.utilization.die[i] = static_cast<double>(
+                ssd_.chipUnit(i).busyTime() - dieBusy0[i]) / window;
+        }
+    }
     result_ = nullptr;
     return result;
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/metrics/request_metrics.h"
 #include "src/ssd/ssd.h"
 #include "src/workload/workload.h"
 
@@ -36,6 +37,11 @@ struct RunResult
     /** Time requests waited for a host-queue slot (0 when the queue
      *  depth is unbounded). */
     LatencyRecorder queueWaitUs;
+    /** Per-IoType latency histograms + per-phase decomposition of
+     *  every completion in the measured window. */
+    metrics::RequestMetrics requestMetrics;
+    /** Channel/die busy fractions over the measured window. */
+    metrics::Utilization utilization;
 };
 
 class Driver

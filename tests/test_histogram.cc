@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the fixed-bucket log-scale latency histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/metrics/histogram.h"
+
+namespace cubessd::metrics {
+namespace {
+
+TEST(LatencyHistogram, BucketBoundariesArePartition)
+{
+    // The fixed layout must tile [0, 2^64) with no gaps or overlaps:
+    // high(i) + 1 == low(i+1), and low <= high everywhere.
+    for (std::size_t i = 0; i + 1 < LatencyHistogram::kBuckets; ++i) {
+        EXPECT_LE(LatencyHistogram::bucketLow(i),
+                  LatencyHistogram::bucketHigh(i))
+            << "bucket " << i;
+        EXPECT_EQ(LatencyHistogram::bucketHigh(i) + 1,
+                  LatencyHistogram::bucketLow(i + 1))
+            << "bucket " << i;
+    }
+    EXPECT_EQ(LatencyHistogram::bucketLow(0), 0u);
+    EXPECT_EQ(
+        LatencyHistogram::bucketHigh(LatencyHistogram::kBuckets - 1),
+        std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(LatencyHistogram, BucketIndexMatchesBoundaries)
+{
+    const std::uint64_t samples[] = {
+        0, 1, 7, 8, 9, 15, 16, 17, 100, 1000, 4096, 123456789,
+        std::uint64_t{1} << 40, std::numeric_limits<std::uint64_t>::max()};
+    for (const std::uint64_t v : samples) {
+        const std::size_t i = LatencyHistogram::bucketIndex(v);
+        ASSERT_LT(i, LatencyHistogram::kBuckets);
+        EXPECT_LE(LatencyHistogram::bucketLow(i), v) << "value " << v;
+        EXPECT_GE(LatencyHistogram::bucketHigh(i), v) << "value " << v;
+    }
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact)
+{
+    // Values 0..7 get dedicated buckets, so percentiles on them are
+    // exact, not quantized.
+    LatencyHistogram h;
+    for (std::uint64_t v = 0; v < 8; ++v)
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 7.0);
+    EXPECT_DOUBLE_EQ(h.percentile(12.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 3.0);
+}
+
+TEST(LatencyHistogram, RelativeErrorBounded)
+{
+    // Any reported percentile is >= the exact sample and within one
+    // sub-bucket (12.5%) of it.
+    LatencyHistogram h;
+    const std::uint64_t v = 1000000;  // 1 ms in ns
+    h.add(v);
+    const double p50 = h.percentile(50.0);
+    EXPECT_GE(p50, static_cast<double>(v));
+    EXPECT_LE(p50, static_cast<double>(v) * 1.125);
+}
+
+TEST(LatencyHistogram, PercentileExtraction)
+{
+    LatencyHistogram h;
+    for (std::uint64_t i = 1; i <= 1000; ++i)
+        h.add(i * 1000);  // 1us .. 1ms
+    EXPECT_EQ(h.total(), 1000u);
+    // Nearest-rank with quantization: within 12.5% above the exact value.
+    EXPECT_GE(h.percentile(50.0), 500.0 * 1000);
+    EXPECT_LE(h.percentile(50.0), 500.0 * 1000 * 1.125);
+    EXPECT_GE(h.percentile(99.0), 990.0 * 1000);
+    EXPECT_LE(h.percentile(99.0), 990.0 * 1000 * 1.125);
+    EXPECT_GE(h.percentile(99.9), 999.0 * 1000);
+    // p100 and p99.9+ clamp to the true max, never beyond.
+    EXPECT_LE(h.percentile(99.9), 1000.0 * 1000);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 1000.0 * 1000);
+    EXPECT_EQ(h.min(), 1000u);
+    EXPECT_EQ(h.max(), 1000000u);
+    EXPECT_NEAR(h.mean(), 500500.0, 1.0);
+}
+
+TEST(LatencyHistogram, EmptyIsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedAdds)
+{
+    LatencyHistogram a, b, combined;
+    for (std::uint64_t i = 0; i < 500; ++i) {
+        const std::uint64_t va = i * 37 + 5;
+        const std::uint64_t vb = i * 91 + 100000;
+        a.add(va);
+        b.add(vb);
+        combined.add(va);
+        combined.add(vb);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.total(), combined.total());
+    EXPECT_EQ(a.min(), combined.min());
+    EXPECT_EQ(a.max(), combined.max());
+    EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+    for (const double p : {10.0, 50.0, 95.0, 99.0, 99.9, 100.0})
+        EXPECT_DOUBLE_EQ(a.percentile(p), combined.percentile(p)) << p;
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i)
+        ASSERT_EQ(a.count(i), combined.count(i)) << "bucket " << i;
+}
+
+TEST(LatencyHistogram, MergeWithEmpty)
+{
+    LatencyHistogram a, empty;
+    a.add(42);
+    a.merge(empty);
+    EXPECT_EQ(a.total(), 1u);
+    EXPECT_EQ(a.min(), 42u);
+    LatencyHistogram c;
+    c.merge(a);
+    EXPECT_EQ(c.total(), 1u);
+    EXPECT_EQ(c.min(), 42u);
+    EXPECT_EQ(c.max(), 42u);
+}
+
+TEST(LatencyHistogram, Reset)
+{
+    LatencyHistogram h;
+    h.add(7);
+    h.add(70000);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(99.0), 0.0);
+    h.add(5);
+    EXPECT_EQ(h.total(), 1u);
+    EXPECT_EQ(h.max(), 5u);
+}
+
+}  // namespace
+}  // namespace cubessd::metrics

@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Round-trip tests for the JSON metrics export: emit with JsonWriter,
+ * re-parse with a minimal strict JSON parser, and check the values —
+ * proving the export is valid JSON that downstream tooling (and the
+ * BENCH_*.json diffs) can consume.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/metrics/json.h"
+#include "src/metrics/request_metrics.h"
+
+namespace cubessd::metrics {
+namespace {
+
+// ------------------------------------------------------------------
+// Minimal strict JSON parser (test-only). Numbers parse as double,
+// objects as maps; throws std::runtime_error on malformed input.
+// ------------------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> members;
+
+    const JsonValue &
+    at(const std::string &name) const
+    {
+        auto it = members.find(name);
+        if (it == members.end())
+            throw std::runtime_error("missing key: " + name);
+        return it->second;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string text)
+        : text_(std::move(text))
+    {
+    }
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            throw std::runtime_error("trailing garbage");
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            throw std::runtime_error("unexpected end");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            throw std::runtime_error(std::string("expected ") + c);
+        ++pos_;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't': case 'f': return parseBool();
+          case 'n': return parseNull();
+          default:  return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        expect('{');
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            JsonValue key = parseString();
+            expect(':');
+            if (!v.members.emplace(key.text, parseValue()).second)
+                throw std::runtime_error("duplicate key: " + key.text);
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        expect('[');
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.items.push_back(parseValue());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseString()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        expect('"');
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    throw std::runtime_error("bad escape");
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case '"':  c = '"'; break;
+                  case '\\': c = '\\'; break;
+                  case '/':  c = '/'; break;
+                  case 'n':  c = '\n'; break;
+                  case 't':  c = '\t'; break;
+                  case 'r':  c = '\r'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        throw std::runtime_error("bad \\u escape");
+                    c = static_cast<char>(std::stoi(
+                        text_.substr(pos_, 4), nullptr, 16));
+                    pos_ += 4;
+                    break;
+                  }
+                  default: throw std::runtime_error("bad escape");
+                }
+            }
+            v.text += c;
+        }
+        expect('"');
+        return v;
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            v.boolean = true;
+            pos_ += 4;
+        } else if (text_.compare(pos_, 5, "false") == 0) {
+            v.boolean = false;
+            pos_ += 5;
+        } else {
+            throw std::runtime_error("bad literal");
+        }
+        return v;
+    }
+
+    JsonValue
+    parseNull()
+    {
+        if (text_.compare(pos_, 4, "null") != 0)
+            throw std::runtime_error("bad literal");
+        pos_ += 4;
+        return JsonValue{};
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        std::size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '-' || text_[end] == '+' ||
+                text_[end] == '.' || text_[end] == 'e' ||
+                text_[end] == 'E'))
+            ++end;
+        if (end == pos_)
+            throw std::runtime_error("bad number");
+        v.number = std::stod(text_.substr(pos_, end - pos_));
+        pos_ = end;
+        return v;
+    }
+
+    std::string text_;
+    std::size_t pos_ = 0;
+};
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+// ------------------------------------------------------------------
+// JsonWriter basics
+// ------------------------------------------------------------------
+
+TEST(JsonWriter, NestedStructuresRoundTrip)
+{
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.field("name", "cube\"ssd\"");
+    w.field("iops", 12345.5);
+    w.field("count", std::uint64_t{42});
+    w.field("ok", true);
+    w.key("list");
+    w.beginArray();
+    w.value(std::uint64_t{1});
+    w.value(2.5);
+    w.value("three");
+    w.endArray();
+    w.key("nested");
+    w.beginObject().field("deep", std::int64_t{-7}).endObject();
+    w.endObject();
+
+    const JsonValue root = parseJson(out.str());
+    EXPECT_EQ(root.at("name").text, "cube\"ssd\"");
+    EXPECT_DOUBLE_EQ(root.at("iops").number, 12345.5);
+    EXPECT_DOUBLE_EQ(root.at("count").number, 42.0);
+    EXPECT_TRUE(root.at("ok").boolean);
+    ASSERT_EQ(root.at("list").items.size(), 3u);
+    EXPECT_DOUBLE_EQ(root.at("list").items[1].number, 2.5);
+    EXPECT_EQ(root.at("list").items[2].text, "three");
+    EXPECT_DOUBLE_EQ(root.at("nested").at("deep").number, -7.0);
+}
+
+TEST(JsonWriter, EmptyContainers)
+{
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("arr");
+    w.beginArray().endArray();
+    w.key("obj");
+    w.beginObject().endObject();
+    w.endObject();
+    const JsonValue root = parseJson(out.str());
+    EXPECT_TRUE(root.at("arr").items.empty());
+    EXPECT_TRUE(root.at("obj").members.empty());
+}
+
+// ------------------------------------------------------------------
+// Metrics schema round-trip
+// ------------------------------------------------------------------
+
+ssd::Completion
+makeCompletion(ssd::IoType type, SimTime latencyNs,
+               const ssd::PhaseTimes &phases)
+{
+    ssd::Completion c;
+    c.type = type;
+    c.arrival = 0;
+    c.start = phases.queueWait;
+    c.finish = latencyNs;
+    c.phases = phases;
+    return c;
+}
+
+TEST(JsonExport, RequestMetricsRoundTrip)
+{
+    RequestMetrics metrics;
+    for (int i = 1; i <= 100; ++i) {
+        ssd::PhaseTimes p;
+        p.queueWait = 1000 * i;
+        p.bus = 20480;
+        p.die = 58000;
+        p.retry = (i % 10 == 0) ? 58000 : 0;
+        metrics.record(makeCompletion(ssd::IoType::Read,
+                                      100000 + 1000 * i, p));
+    }
+    ssd::PhaseTimes wp;
+    wp.buffer = 5000;
+    metrics.record(makeCompletion(ssd::IoType::Write, 5000, wp));
+
+    std::ostringstream out;
+    JsonWriter w(out);
+    writeRequestMetrics(w, metrics);
+    const JsonValue root = parseJson(out.str());
+
+    const JsonValue &read = root.at("read");
+    EXPECT_DOUBLE_EQ(read.at("latency").at("count").number, 100.0);
+    // 100..200 us latencies: p50 within histogram quantization.
+    const double p50 = read.at("latency").at("p50_us").number;
+    EXPECT_GE(p50, 150.0);
+    EXPECT_LE(p50, 150.0 * 1.125);
+    // All percentile keys of the schema are present.
+    for (const char *key :
+         {"count", "mean_us", "min_us", "p50_us", "p95_us", "p99_us",
+          "p999_us", "max_us"})
+        EXPECT_NO_THROW(read.at("latency").at(key)) << key;
+    // Phase decomposition present for all five phases.
+    for (const char *phase :
+         {"queueWait", "buffer", "bus", "die", "retry"})
+        EXPECT_DOUBLE_EQ(
+            read.at("phases").at(phase).at("count").number, 100.0)
+            << phase;
+    // The bus phase is a constant 20.48 us; exact small-count check.
+    EXPECT_DOUBLE_EQ(read.at("phases").at("bus").at("max_us").number,
+                     20.48);
+    // Every 10th read retried once (58 us): retry count still 100
+    // (zeros recorded), max is the retry time.
+    EXPECT_DOUBLE_EQ(read.at("phases").at("retry").at("max_us").number,
+                     58.0);
+
+    const JsonValue &write = root.at("write");
+    EXPECT_DOUBLE_EQ(write.at("latency").at("count").number, 1.0);
+    EXPECT_DOUBLE_EQ(write.at("phases").at("buffer").at("max_us").number,
+                     5.0);
+}
+
+TEST(JsonExport, UtilizationRoundTrip)
+{
+    Utilization util;
+    util.window = 1000000;
+    util.channel = {0.5, 0.25};
+    util.die = {0.1, 0.2, 0.3, 0.4};
+
+    std::ostringstream out;
+    JsonWriter w(out);
+    writeUtilization(w, util);
+    const JsonValue root = parseJson(out.str());
+
+    EXPECT_DOUBLE_EQ(root.at("window_us").number, 1000.0);
+    ASSERT_EQ(root.at("channel").items.size(), 2u);
+    EXPECT_DOUBLE_EQ(root.at("channel").items[0].number, 0.5);
+    EXPECT_DOUBLE_EQ(root.at("channel_avg").number, 0.375);
+    ASSERT_EQ(root.at("die").items.size(), 4u);
+    EXPECT_DOUBLE_EQ(root.at("die_avg").number, 0.25);
+}
+
+TEST(JsonExport, EmptyMetricsStillValid)
+{
+    RequestMetrics metrics;
+    std::ostringstream out;
+    JsonWriter w(out);
+    writeRequestMetrics(w, metrics);
+    const JsonValue root = parseJson(out.str());
+    EXPECT_DOUBLE_EQ(root.at("read").at("latency").at("count").number,
+                     0.0);
+    EXPECT_DOUBLE_EQ(root.at("write").at("latency").at("count").number,
+                     0.0);
+}
+
+}  // namespace
+}  // namespace cubessd::metrics

@@ -10,13 +10,17 @@
 namespace cubessd::ftl {
 namespace {
 
-TEST(Ort, StartsAtDefault)
+TEST(Ort, StartsEmpty)
 {
     Ort ort(2, 4, 8);
     for (std::uint32_t c = 0; c < 2; ++c)
         for (std::uint32_t b = 0; b < 4; ++b)
-            for (std::uint32_t l = 0; l < 8; ++l)
-                EXPECT_EQ(ort.lookup(c, b, l), 0);
+            for (std::uint32_t l = 0; l < 8; ++l) {
+                EXPECT_FALSE(ort.contains(c, b, l));
+                EXPECT_EQ(ort.lookup(c, b, l), std::nullopt);
+            }
+    EXPECT_EQ(ort.hits(), 0u);
+    EXPECT_EQ(ort.misses(), 2u * 4u * 8u);
 }
 
 TEST(Ort, UpdateThenLookup)
@@ -24,8 +28,26 @@ TEST(Ort, UpdateThenLookup)
     Ort ort(2, 4, 8);
     ort.update(1, 2, 3, 90);
     EXPECT_EQ(ort.lookup(1, 2, 3), 90);
-    EXPECT_EQ(ort.lookup(1, 2, 4), 0);  // neighbours untouched
-    EXPECT_EQ(ort.lookup(0, 2, 3), 0);
+    EXPECT_EQ(ort.lookup(1, 2, 4), std::nullopt);  // neighbours untouched
+    EXPECT_EQ(ort.lookup(0, 2, 3), std::nullopt);
+}
+
+TEST(Ort, ZeroShiftEntryIsAHit)
+{
+    // Regression: a calibrated 0 mV offset is a legitimate cached
+    // entry (the retry walk can snap back to the chip default). It
+    // must be returned as a *hit*, indistinguishable from any other
+    // cached shift — the old zero-sentinel encoding reported it as a
+    // miss, so callers re-treated the h-layer as unknown and the
+    // hit/retry accounting was inflated.
+    Ort ort(1, 2, 2);
+    ort.update(0, 1, 1, 0);
+    EXPECT_TRUE(ort.contains(0, 1, 1));
+    const auto entry = ort.lookup(0, 1, 1);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(*entry, 0);
+    EXPECT_EQ(ort.hits(), 1u);
+    EXPECT_EQ(ort.misses(), 0u);
 }
 
 TEST(Ort, ResetBlockClearsAllLayers)
@@ -34,9 +56,14 @@ TEST(Ort, ResetBlockClearsAllLayers)
     for (std::uint32_t l = 0; l < 8; ++l)
         ort.update(0, 1, l, 60);
     ort.update(0, 2, 0, 30);
+    ort.update(0, 3, 0, 0);  // valid zero-shift entry
     ort.resetBlock(0, 1);
+    ort.resetBlock(0, 3);
     for (std::uint32_t l = 0; l < 8; ++l)
-        EXPECT_EQ(ort.lookup(0, 1, l), 0);
+        EXPECT_EQ(ort.lookup(0, 1, l), std::nullopt);
+    // resetBlock must clear validity too: the zero-shift entry is gone.
+    EXPECT_FALSE(ort.contains(0, 3, 0));
+    EXPECT_EQ(ort.lookup(0, 3, 0), std::nullopt);
     EXPECT_EQ(ort.lookup(0, 2, 0), 30);  // other blocks keep entries
 }
 
@@ -62,15 +89,22 @@ TEST(Ort, ClampsToInt16)
     EXPECT_EQ(ort.lookup(0, 0, 0), -32768);
 }
 
-TEST(Ort, CountsHitsAndUpdates)
+TEST(Ort, CountsHitsMissesAndUpdates)
 {
     Ort ort(1, 2, 2);
-    ort.lookup(0, 0, 0);  // default: not a hit
+    ort.lookup(0, 0, 0);  // empty: a miss
     EXPECT_EQ(ort.hits(), 0u);
+    EXPECT_EQ(ort.misses(), 1u);
     ort.update(0, 0, 0, 30);
     ort.lookup(0, 0, 0);
     EXPECT_EQ(ort.hits(), 1u);
+    EXPECT_EQ(ort.misses(), 1u);
     EXPECT_EQ(ort.updates(), 1u);
+    // contains() is a pure observer: no hit/miss accounting.
+    ort.contains(0, 0, 0);
+    ort.contains(0, 1, 1);
+    EXPECT_EQ(ort.hits(), 1u);
+    EXPECT_EQ(ort.misses(), 1u);
 }
 
 TEST(OrtDeathTest, OutOfRangePanics)

@@ -137,6 +137,64 @@ TEST(SsdIntegration, SeedsChangeOutcomesDeterministically)
     EXPECT_NE(a1, b);          // different seed: different run
 }
 
+TEST(SsdIntegration, CompletionsCarryPhaseDecomposition)
+{
+    ssd::Ssd dev(integrationConfig(ssd::FtlKind::Page));
+    auto spec = workload::web();
+    workload::WorkloadGenerator gen(spec, dev.logicalPages(), 7);
+    workload::Driver driver(dev, gen);
+    driver.prefill(0.1);
+    const auto result = driver.run(3000);
+
+    // NAND reads dominate this read-heavy run: the recorded read
+    // phases must show die (sense) and bus (transfer) time.
+    const auto &readPhases =
+        result.requestMetrics.phases(ssd::IoType::Read);
+    EXPECT_GT(readPhases.die.max(), 0u);
+    EXPECT_GT(readPhases.bus.max(), 0u);
+    // Host-visible write time is the buffer insert.
+    const auto &writePhases =
+        result.requestMetrics.phases(ssd::IoType::Write);
+    EXPECT_GT(writePhases.buffer.max(), 0u);
+    // One latency histogram sample per completed request.
+    EXPECT_EQ(result.requestMetrics.recorded(ssd::IoType::Read) +
+                  result.requestMetrics.recorded(ssd::IoType::Write),
+              result.completedRequests);
+
+    // A run that moved data must have kept channels and dies busy for
+    // part of the measured window.
+    ASSERT_EQ(result.utilization.channel.size(), 2u);
+    ASSERT_EQ(result.utilization.die.size(), 4u);
+    EXPECT_GT(result.utilization.averageChannel(), 0.0);
+    EXPECT_GT(result.utilization.averageDie(), 0.0);
+    for (const double u : result.utilization.die) {
+        EXPECT_GT(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+}
+
+TEST(SsdIntegration, BufferHitReadHasBufferPhaseOnly)
+{
+    ssd::Ssd dev(integrationConfig(ssd::FtlKind::Page));
+    ssd::HostRequest write;
+    write.type = ssd::IoType::Write;
+    write.lba = 5;
+    write.pages = 1;
+    dev.submit(write, [](const ssd::Completion &) {});
+    ssd::HostRequest read;
+    read.type = ssd::IoType::Read;
+    read.lba = 5;
+    read.pages = 1;
+    ssd::Completion seen;
+    dev.submit(read, [&](const ssd::Completion &c) { seen = c; });
+    dev.queue().run();
+    // The read is served from the write buffer: DRAM time, no NAND.
+    EXPECT_GT(seen.phases.buffer, 0u);
+    EXPECT_EQ(seen.phases.die, 0u);
+    EXPECT_EQ(seen.phases.bus, 0u);
+    EXPECT_EQ(seen.phases.retry, 0u);
+}
+
 TEST(SsdIntegration, SubmitAssignsIdsAndHonorsArrival)
 {
     ssd::Ssd dev(integrationConfig(ssd::FtlKind::Page));

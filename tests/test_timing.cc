@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Unit tests for the chip-level timing constants (src/nand/timing.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/nand/timing.h"
+
+namespace cubessd::nand {
+namespace {
+
+TEST(NandTiming, BusTransferRoundsUp)
+{
+    // Regression: the bus is held for whole clock edges, so
+    // fractional nanoseconds must round *up*. The old static_cast
+    // truncated 1.25 ns -> 1 ns, under-counting occupancy for every
+    // transfer size that is not a multiple of the byte clock.
+    NandTiming timing;  // busNsPerByte = 1.25
+    EXPECT_GE(timing.busTransferTime(1), 2);
+    EXPECT_EQ(timing.busTransferTime(1), 2);
+    EXPECT_EQ(timing.busTransferTime(2), 3);   // 2.5 -> 3
+    EXPECT_EQ(timing.busTransferTime(3), 4);   // 3.75 -> 4
+    EXPECT_EQ(timing.busTransferTime(0), 0);
+}
+
+TEST(NandTiming, BusTransferExactMultiplesUnchanged)
+{
+    // Whole-nanosecond transfers must not change: a default 16 KB
+    // page is 16384 * 1.25 = 20480 ns exactly, which is why the
+    // rounding fix leaves the page-granular benches bit-identical.
+    NandTiming timing;
+    EXPECT_EQ(timing.busTransferTime(4), 5);
+    EXPECT_EQ(timing.busTransferTime(16384), 20480);
+    EXPECT_EQ(timing.busTransferTime(3 * 16384), 61440);
+}
+
+TEST(NandTiming, BusTransferMonotonic)
+{
+    NandTiming timing;
+    for (std::uint64_t b = 1; b < 64; ++b)
+        EXPECT_GE(timing.busTransferTime(b),
+                  timing.busTransferTime(b - 1));
+}
+
+}  // namespace
+}  // namespace cubessd::nand

@@ -13,6 +13,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -35,6 +36,7 @@ struct Options
     double prefillOverwrite = 0.2;
     std::uint32_t qd = 0;
     bool verbose = false;
+    std::string metricsOut;
 };
 
 void
@@ -60,6 +62,11 @@ usage()
         "                                 keep n requests in flight through\n"
         "                                 the bounded host queue (default:\n"
         "                                 the workload's native pacing)\n"
+        "  --metrics-out <file>           write the full run metrics as\n"
+        "                                 JSON: per-IoType latency\n"
+        "                                 percentiles (p50/p95/p99/p99.9),\n"
+        "                                 phase decomposition, channel and\n"
+        "                                 die utilization, FTL/GC stats\n"
         "  --verbose                      print per-chip statistics\n"
         "  --help                         this text\n";
 }
@@ -121,6 +128,8 @@ parseArgs(int argc, char **argv)
             opt.prefillOverwrite = std::atof(value());
         } else if (arg == "--qd") {
             opt.qd = static_cast<std::uint32_t>(std::atoi(value()));
+        } else if (arg == "--metrics-out") {
+            opt.metricsOut = value();
         } else if (arg == "--verbose") {
             opt.verbose = true;
         } else {
@@ -128,6 +137,80 @@ parseArgs(int argc, char **argv)
         }
     }
     return opt;
+}
+
+/**
+ * Write the full run metrics as a single JSON document: the run
+ * configuration, throughput, per-IoType latency/phase histograms,
+ * channel and die utilization, and the FTL/GC statistics.
+ */
+void
+writeMetricsFile(const std::string &path, const Options &opt,
+                 const ssd::Ssd &dev, const workload::RunResult &result)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open metrics file '%s'", path.c_str());
+
+    metrics::JsonWriter w(out);
+    w.beginObject();
+
+    w.key("config");
+    w.beginObject();
+    w.field("ftl", opt.ftl);
+    w.field("workload", opt.workload);
+    w.field("pe_cycles", static_cast<std::uint64_t>(opt.pe));
+    w.field("retention_months", opt.retentionMonths);
+    w.field("blocks_per_chip", static_cast<std::uint64_t>(opt.blocks));
+    w.field("requests", opt.requests);
+    w.field("seed", opt.seed);
+    w.field("queue_depth", static_cast<std::uint64_t>(opt.qd));
+    w.endObject();
+
+    w.key("run");
+    w.beginObject();
+    w.field("iops", result.iops);
+    w.field("elapsed_s", toSeconds(result.elapsed));
+    w.field("completed", result.completedRequests);
+    w.endObject();
+
+    w.key("requests");
+    metrics::writeRequestMetrics(w, result.requestMetrics);
+
+    w.key("utilization");
+    metrics::writeUtilization(w, result.utilization);
+
+    const auto &stats = dev.ftl().stats();
+    w.key("ftl");
+    w.beginObject();
+    w.field("host_read_pages", stats.hostReadPages);
+    w.field("host_write_pages", stats.hostWritePages);
+    w.field("buffer_hits", stats.bufferHits);
+    w.field("nand_reads", stats.nandReads);
+    w.field("host_programs", stats.hostPrograms);
+    w.field("gc_programs", stats.gcPrograms);
+    w.field("leader_programs", stats.leaderPrograms);
+    w.field("follower_programs", stats.followerPrograms);
+    w.field("read_retries", stats.readRetries);
+    w.field("safety_reprograms", stats.safetyReprograms);
+    w.field("write_stalls", stats.writeStalls);
+    w.field("write_amplification", stats.writeAmplification());
+    w.field("avg_program_latency_us", stats.avgProgramLatencyUs());
+    w.endObject();
+
+    const auto &gc = dev.ftl().gcStats();
+    w.key("gc");
+    w.beginObject();
+    w.field("collections", gc.collections);
+    w.field("relocated_pages", gc.relocatedPages);
+    w.field("erases", gc.erases);
+    w.field("scan_reads", gc.scanReads);
+    w.field("programs", gc.programs);
+    w.field("avg_program_latency_us", gc.avgProgramLatencyUs());
+    w.endObject();
+
+    w.endObject();
+    out << '\n';
 }
 
 }  // namespace
@@ -241,6 +324,11 @@ main(int argc, char **argv)
                        std::to_string(cs.readRetries)});
         }
         chips.print(std::cout);
+    }
+
+    if (!opt.metricsOut.empty()) {
+        writeMetricsFile(opt.metricsOut, opt, dev, result);
+        std::cout << "\nmetrics written to " << opt.metricsOut << '\n';
     }
 
     dev.ftl().checkConsistency();
