@@ -11,6 +11,17 @@
  * Typical entry points:
  *  - whole-device simulation: ssd::Ssd + workload::Driver
  *  - chip-level characterization: nand::NandChip
+ *
+ * API conventions:
+ *  - Maybe-absent lookups return std::optional, never sentinel
+ *    values: ssd::Ssd::peek, ftl::MappingTable::lookup/map,
+ *    ssd::WriteBuffer::lookup and ftl::Ort::lookup all follow this
+ *    idiom — `if (auto v = x.lookup(k)) use(*v);`. Raw kInvalidPpa /
+ *    kInvalidLba sentinels appear only inside packed storage (L2P
+ *    arrays, FlushEntry padding), not across call boundaries.
+ *  - Completions never fail silently: every ssd::Completion carries a
+ *    ssd::Status (Ok, Uncorrectable, ProgramFailed, ReadOnly,
+ *    Rejected); hosts check `c.ok()` instead of assuming success.
  */
 
 #ifndef CUBESSD_CUBESSD_H

@@ -44,6 +44,8 @@ void
 BlockManager::release(std::uint32_t block)
 {
     auto &info = blocks_.at(block);
+    if (info.isBad)
+        panic("BlockManager: releasing retired block %u", block);
     if (info.validCount != 0)
         panic("BlockManager: releasing block %u with %u valid pages",
               block, info.validCount);
@@ -63,6 +65,19 @@ BlockManager::close(std::uint32_t block)
     if (info.isFree)
         panic("BlockManager: closing free block %u", block);
     info.isActive = false;
+}
+
+void
+BlockManager::retire(std::uint32_t block)
+{
+    auto &info = blocks_.at(block);
+    if (info.isBad)
+        panic("BlockManager: block %u already retired", block);
+    if (info.isFree)
+        panic("BlockManager: retiring free block %u", block);
+    info.isBad = true;
+    info.isActive = false;
+    ++retired_;
 }
 
 void
@@ -105,7 +120,7 @@ BlockManager::pickVictim() const
     std::uint32_t bestValid = 0;
     for (std::uint32_t b = 0; b < blocks_.size(); ++b) {
         const auto &info = blocks_[b];
-        if (info.isFree || info.isActive)
+        if (info.isFree || info.isActive || info.isBad)
             continue;
         if (info.programmedWls != geom_.wlsPerBlock())
             continue;  // only fully written blocks are GC candidates

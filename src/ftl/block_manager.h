@@ -27,6 +27,7 @@ struct BlockInfo
     std::uint32_t eraseCount = 0;  ///< wear (for wear leveling)
     bool isFree = true;
     bool isActive = false;       ///< open as a write point (not a victim)
+    bool isBad = false;          ///< retired after a program/erase fail
 };
 
 class BlockManager
@@ -51,6 +52,19 @@ class BlockManager
 
     /** Mark a fully written active block as closed (GC-eligible). */
     void close(std::uint32_t block);
+
+    /**
+     * Move a block to the bad-block list after a program or erase
+     * status fail. The block leaves circulation permanently: it is
+     * never allocated, picked as a GC victim, or released again. Any
+     * pages still valid at retirement stay readable (the NAND keeps
+     * their data) until the caller relocates them and the relocations
+     * invalidate them one by one.
+     */
+    void retire(std::uint32_t block);
+
+    /** Blocks retired to the bad-block list so far. */
+    std::size_t retiredCount() const { return retired_; }
 
     BlockInfo &info(std::uint32_t block) { return blocks_.at(block); }
     const BlockInfo &
@@ -88,6 +102,7 @@ class BlockManager
     nand::NandGeometry geom_;
     std::vector<BlockInfo> blocks_;
     std::deque<std::uint32_t> freeList_;
+    std::size_t retired_ = 0;
 };
 
 }  // namespace cubessd::ftl

@@ -179,6 +179,28 @@ CubeFtl::onBlockErased(std::uint32_t chip, std::uint32_t block)
         params.erase(base + l);
 }
 
+void
+CubeFtl::onBlockRetired(std::uint32_t chip, std::uint32_t block)
+{
+    // Force any write point open on the retired block to exhausted so
+    // the next pick replaces it with a fresh allocation.
+    auto &cs = state_[chip];
+    const auto exhaust = [this](MixedWritePoint &wp) {
+        wp.iLeader = geometry().layersPerBlock;
+        wp.iFollower = geometry().layersPerBlock;
+    };
+    if (cs.open) {
+        for (auto &wp : cs.host) {
+            if (wp.block == block)
+                exhaust(wp);
+        }
+    }
+    if (cs.gcOpen && cs.gc.block == block)
+        exhaust(cs.gc);
+    // Cached ORT shifts and OPM parameters die with the block.
+    onBlockErased(chip, block);
+}
+
 bool
 CubeFtl::safetyCheck(std::uint32_t chip, const ProgramChoice &choice,
                      const nand::WlProgramResult &result)

@@ -65,6 +65,8 @@ class CubeFtl : public FtlBase
     void onReadComplete(std::uint32_t chip, const nand::PageAddr &addr,
                         const nand::ReadOutcome &outcome) override;
     void onBlockErased(std::uint32_t chip, std::uint32_t block) override;
+    void onBlockRetired(std::uint32_t chip,
+                        std::uint32_t block) override;
     bool safetyCheck(std::uint32_t chip, const ProgramChoice &choice,
                      const nand::WlProgramResult &result) override;
 

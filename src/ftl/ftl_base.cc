@@ -18,7 +18,8 @@ FtlBase::FtlBase(const ssd::SsdConfig &config,
       mapping_(config.logicalPages()),
       buffer_(config.writeBufferPages),
       latestIssued_(config.logicalPages(), 0),
-      outstandingFlush_(chips.size(), false)
+      outstandingFlush_(chips.size(), 0),
+      deferredFlushes_(chips.size())
 {
     if (chips_.empty())
         fatal("FtlBase: no chips");
@@ -41,6 +42,7 @@ FtlBase::FtlBase(const ssd::SsdConfig &config,
               static_cast<unsigned long long>(spare),
               config_.gcHighWatermark + 3);
     }
+    sparePerChip_ = spare;
     blockMgrs_.reserve(chips_.size());
     for (std::size_t i = 0; i < chips_.size(); ++i)
         blockMgrs_.emplace_back(geom_);
@@ -102,12 +104,19 @@ FtlBase::pageInBlock(const nand::PageAddr &addr) const
 void
 FtlBase::hostRead(const ssd::HostRequest &req, CompletionFn done)
 {
+    if (req.pages == 0 ||
+        req.lba + req.pages > mapping_.logicalPages()) {
+        completeWithStatus(req, done, ssd::Status::Rejected);
+        return;
+    }
+
     struct ReadContext
     {
         ssd::HostRequest req;
         CompletionFn done;
         std::uint32_t remaining;
         ssd::PhaseTimes phases;  ///< summed over the request's pages
+        ssd::Status status = ssd::Status::Ok;  ///< worst page outcome
     };
     auto ctx = std::make_shared<ReadContext>(
         ReadContext{req, std::move(done), req.pages, {}});
@@ -120,6 +129,7 @@ FtlBase::hostRead(const ssd::HostRequest &req, CompletionFn done)
             c.pages = ctx->req.pages;
             c.arrival = ctx->req.arrival;
             c.finish = queue_.now();
+            c.status = ctx->status;
             c.phases = ctx->phases;
             ctx->done(c);
         }
@@ -127,8 +137,6 @@ FtlBase::hostRead(const ssd::HostRequest &req, CompletionFn done)
 
     for (std::uint32_t i = 0; i < req.pages; ++i) {
         const Lba lba = req.lba + i;
-        if (lba >= mapping_.logicalPages())
-            fatal("hostRead: LBA beyond logical capacity");
         ++stats_.hostReadPages;
 
         // 1) write buffer, 2) in-flight flushes, 3) NAND.
@@ -138,15 +146,15 @@ FtlBase::hostRead(const ssd::HostRequest &req, CompletionFn done)
             queue_.schedule(config_.bufferReadTime, finishPiece);
             continue;
         }
-        const Ppa ppa = mapping_.lookup(lba);
-        if (ppa == kInvalidPpa) {
+        const std::optional<Ppa> ppa = mapping_.lookup(lba);
+        if (!ppa) {
             ++stats_.unmappedReads;
             ctx->phases.buffer += config_.bufferReadTime;
             queue_.schedule(config_.bufferReadTime, finishPiece);
             continue;
         }
 
-        const auto [chip, addr] = decodePpa(ppa);
+        const auto [chip, addr] = decodePpa(*ppa);
         ssd::NandOp op;
         op.kind = ssd::NandOp::Kind::Read;
         op.page = addr;
@@ -157,8 +165,13 @@ FtlBase::hostRead(const ssd::HostRequest &req, CompletionFn done)
                       const ssd::NandOpResult &r) {
             stats_.readRetries +=
                 static_cast<std::uint64_t>(r.read.numRetries);
-            if (r.read.uncorrectable)
+            if (r.read.uncorrectable) {
+                // Retry walk exhausted and the soft LDPC fallthrough
+                // failed too: this page's data is lost.
                 ++stats_.uncorrectableReads;
+                ctx->status = ssd::worseStatus(
+                    ctx->status, ssd::Status::Uncorrectable);
+            }
             ctx->phases.bus += r.busTime;
             ctx->phases.die += r.dieTime - r.read.tRetry;
             ctx->phases.retry += r.read.tRetry;
@@ -177,6 +190,18 @@ FtlBase::hostRead(const ssd::HostRequest &req, CompletionFn done)
 void
 FtlBase::hostWrite(const ssd::HostRequest &req, CompletionFn done)
 {
+    if (req.pages == 0 ||
+        req.lba + req.pages > mapping_.logicalPages()) {
+        completeWithStatus(req, done, ssd::Status::Rejected);
+        return;
+    }
+    if (readOnly_) {
+        // Spare blocks are exhausted: fail fast instead of accepting
+        // data the flush path may no longer be able to place.
+        ++stats_.readOnlyRejects;
+        completeWithStatus(req, done, ssd::Status::ReadOnly);
+        return;
+    }
     auto write = std::make_shared<StalledWrite>(
         StalledWrite{req, std::move(done), 0});
     processWrite(write);
@@ -188,8 +213,6 @@ FtlBase::processWrite(const std::shared_ptr<StalledWrite> &write)
 {
     while (write->nextPage < write->req.pages) {
         const Lba lba = write->req.lba + write->nextPage;
-        if (lba >= mapping_.logicalPages())
-            fatal("hostWrite: LBA beyond logical capacity");
         const std::uint64_t version = nextVersion();
         const std::uint64_t token = tokenFor(lba, version);
         if (!buffer_.insert(lba, token, version)) {
@@ -222,6 +245,26 @@ FtlBase::completeWrite(const ssd::HostRequest &req,
         // Writes complete at the DRAM buffer; any extra latency is
         // stall time waiting for flushes (the unattributed remainder).
         c.phases.buffer = config_.bufferReadTime;
+        done(c);
+    });
+}
+
+void
+FtlBase::completeWithStatus(const ssd::HostRequest &req,
+                            const CompletionFn &done, ssd::Status status)
+{
+    if (status == ssd::Status::Rejected)
+        ++stats_.rejectedRequests;
+    queue_.schedule(0, [this, req, done, status]() {
+        if (!done)
+            return;
+        ssd::Completion c;
+        c.id = req.id;
+        c.type = req.type;
+        c.pages = req.pages;
+        c.arrival = req.arrival;
+        c.finish = queue_.now();
+        c.status = status;
         done(c);
     });
 }
@@ -283,7 +326,7 @@ FtlBase::maybeFlush()
                 if (gcEngine_->active(c))
                     continue;
             }
-            if (!outstandingFlush_[c]) {
+            if (outstandingFlush_[c] == 0) {
                 chip = c;
                 break;
             }
@@ -316,6 +359,21 @@ void
 FtlBase::dispatchFlush(std::uint32_t chip, std::vector<FlushEntry> batch,
                        bool forGc)
 {
+    // Backstop against cascading retirement under fault injection:
+    // with the free list empty, a host-path dispatch could force the
+    // allocator into its fatal path. Park the batch and retry when GC
+    // returns a block; the data stays readable via inFlight_ / the
+    // source block meanwhile. GC batches are never parked — GC is a
+    // net producer of free blocks and dropping its relocations would
+    // erase live data. Unreachable without faults (the watermarks
+    // keep the free list stocked).
+    if (!forGc && config_.chip.faults.enabled &&
+        blockMgrs_[chip].freeCount() == 0) {
+        ++stats_.flushDeferrals;
+        deferredFlushes_[chip].push_back(std::move(batch));
+        return;
+    }
+
     const double mu = buffer_.utilization();
     ProgramChoice choice = chooseProgramTarget(chip, forGc, mu);
 
@@ -332,7 +390,7 @@ FtlBase::dispatchFlush(std::uint32_t chip, std::vector<FlushEntry> batch,
     if (forGc)
         gcEngine_->noteProgramIssued(chip);
     else
-        outstandingFlush_[chip] = true;
+        ++outstandingFlush_[chip];
 
     ssd::NandOp op;
     op.kind = ssd::NandOp::Kind::Program;
@@ -351,13 +409,36 @@ FtlBase::handleProgramComplete(std::uint32_t chip, ProgramChoice choice,
                                std::vector<FlushEntry> batch, bool forGc,
                                const ssd::NandOpResult &result)
 {
+    auto &mgr = blockMgrs_[chip];
+    const bool targetRetired = mgr.info(choice.wl.block).isBad;
+    if (result.program.failed || targetRetired) {
+        // Program-status fail (or a program that was already queued
+        // when its target block got retired): the WL holds no durable
+        // data. Retire the block on a fresh failure, then replay the
+        // whole batch through the flush path — chooseProgramTarget
+        // will steer it to a fresh block now that the policy has
+        // abandoned its write point on the retired one.
+        if (forGc)
+            gcEngine_->noteProgramComplete(chip, result.program.tProg);
+        else
+            --outstandingFlush_[chip];
+        if (result.program.failed) {
+            ++stats_.programFailures;
+            if (!targetRetired)
+                retireBlock(chip, choice.wl.block);
+        }
+        ++stats_.flushReplays;
+        dispatchFlush(chip, std::move(batch), forGc);
+        gcEngine_->maybeStart(chip);
+        return;
+    }
+
     stats_.programLatencySum += result.program.tProg;
     if (forGc)
         ++stats_.gcPrograms;
     else
         ++stats_.hostPrograms;
 
-    auto &mgr = blockMgrs_[chip];
     mgr.noteWlProgrammed(choice.wl.block);
     if (mgr.info(choice.wl.block).programmedWls == geom_.wlsPerBlock())
         mgr.close(choice.wl.block);
@@ -365,7 +446,7 @@ FtlBase::handleProgramComplete(std::uint32_t chip, ProgramChoice choice,
     if (forGc)
         gcEngine_->noteProgramComplete(chip, result.program.tProg);
     else
-        outstandingFlush_[chip] = false;
+        --outstandingFlush_[chip];
 
     // Safety check (Sec. 4.1.4): a follower whose program deviated from
     // the leader-derived expectation is re-programmed on the next WL.
@@ -413,10 +494,10 @@ FtlBase::applyMappings(std::uint32_t chip, const nand::WlAddr &wl,
         }
 
         if (current) {
-            const Ppa old =
+            const std::optional<Ppa> old =
                 mapping_.map(entry.lba, ppa, entry.version);
-            if (old != kInvalidPpa) {
-                const auto [oldChip, oldAddr] = decodePpa(old);
+            if (old) {
+                const auto [oldChip, oldAddr] = decodePpa(*old);
                 blockMgrs_[oldChip].markInvalid(oldAddr.block,
                                                 pageInBlock(oldAddr));
             }
@@ -433,6 +514,71 @@ FtlBase::applyMappings(std::uint32_t chip, const nand::WlAddr &wl,
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Failure domain: bad-block retirement and read-only degradation
+// ---------------------------------------------------------------------
+
+void
+FtlBase::retireBlock(std::uint32_t chip, std::uint32_t block)
+{
+    auto &mgr = blockMgrs_[chip];
+    mgr.retire(block);
+    ++stats_.retiredBlocks;
+    onBlockRetired(chip, block);
+
+    // Relocate the pages that were already durable in the retired
+    // block, GC-style (sourcePpa guards against racing host writes).
+    // The NAND keeps the data of its intact WLs, so reads served
+    // before a relocation lands still return correct tokens; as each
+    // relocated copy maps in, the old page is invalidated.
+    std::vector<FlushEntry> pending;
+    const auto &info = mgr.info(block);
+    for (std::uint32_t i = 0; i < geom_.pagesPerBlock(); ++i) {
+        if (!info.valid[i])
+            continue;
+        const Lba lba = info.p2l[i];
+        const nand::PageAddr addr = codec_.decode(
+            static_cast<std::uint64_t>(block) * geom_.pagesPerBlock() +
+            i);
+        FlushEntry entry;
+        entry.lba = lba;
+        entry.token = chips_[chip].chip().pageToken(addr);
+        entry.version = mapping_.mappedVersion(lba);
+        entry.sourcePpa = encodePpa(chip, addr);
+        pending.push_back(entry);
+        ++stats_.badBlockRelocations;
+    }
+    for (std::size_t off = 0; off < pending.size();
+         off += geom_.pagesPerWl) {
+        const std::size_t end =
+            std::min<std::size_t>(pending.size(), off + geom_.pagesPerWl);
+        std::vector<FlushEntry> batch(
+            pending.begin() + static_cast<long>(off),
+            pending.begin() + static_cast<long>(end));
+        while (batch.size() < geom_.pagesPerWl)
+            batch.push_back(FlushEntry{});
+        dispatchFlush(chip, std::move(batch), /*forGc=*/false);
+    }
+
+    checkReadOnly(chip);
+}
+
+void
+FtlBase::checkReadOnly(std::uint32_t chip)
+{
+    if (readOnly_)
+        return;
+    // Every retirement permanently shrinks the chip's spare pool. Once
+    // it can no longer sustain the construction-time floor (active
+    // write points + GC watermarks), new writes can no longer be
+    // guaranteed a landing block: degrade to read-only *before* the
+    // allocator runs dry so in-flight flushes and relocations still
+    // have room to complete.
+    const std::uint64_t retired = blockMgrs_[chip].retiredCount();
+    if (sparePerChip_ < retired + config_.gcHighWatermark + 3)
+        readOnly_ = true;
 }
 
 // ---------------------------------------------------------------------
@@ -461,6 +607,26 @@ void
 FtlBase::gcBlockErased(std::uint32_t chip, std::uint32_t block)
 {
     onBlockErased(chip, block);
+    retryDeferredFlushes(chip);
+}
+
+void
+FtlBase::retryDeferredFlushes(std::uint32_t chip)
+{
+    while (!deferredFlushes_[chip].empty() &&
+           blockMgrs_[chip].freeCount() > 0) {
+        std::vector<FlushEntry> batch =
+            std::move(deferredFlushes_[chip].front());
+        deferredFlushes_[chip].pop_front();
+        dispatchFlush(chip, std::move(batch), /*forGc=*/false);
+    }
+}
+
+void
+FtlBase::gcBlockRetired(std::uint32_t chip, std::uint32_t block)
+{
+    onBlockRetired(chip, block);
+    checkReadOnly(chip);
 }
 
 void
@@ -482,10 +648,10 @@ FtlBase::peek(Lba lba) const
         return hit;
     if (auto it = inFlight_.find(lba); it != inFlight_.end())
         return it->second.first;
-    const Ppa ppa = mapping_.lookup(lba);
-    if (ppa == kInvalidPpa)
+    const std::optional<Ppa> ppa = mapping_.lookup(lba);
+    if (!ppa)
         return std::nullopt;
-    const auto [chip, addr] = decodePpa(ppa);
+    const auto [chip, addr] = decodePpa(*ppa);
     return chips_[chip].chip().pageToken(addr);
 }
 
@@ -495,11 +661,11 @@ FtlBase::checkConsistency() const
     // Every mapped LBA must point at a valid page that maps back.
     std::uint64_t mapped = 0;
     for (Lba lba = 0; lba < mapping_.logicalPages(); ++lba) {
-        const Ppa ppa = mapping_.lookup(lba);
-        if (ppa == kInvalidPpa)
+        const std::optional<Ppa> ppa = mapping_.lookup(lba);
+        if (!ppa)
             continue;
         ++mapped;
-        const auto [chip, addr] = decodePpa(ppa);
+        const auto [chip, addr] = decodePpa(*ppa);
         const auto &info = blockMgrs_[chip].info(addr.block);
         const std::uint32_t idx = pageInBlock(addr);
         if (!info.valid[idx])

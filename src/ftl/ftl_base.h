@@ -79,6 +79,13 @@ class FtlBase : private GcHost
     /** Current data of a logical page, bypassing timing (for tests). */
     std::optional<std::uint64_t> peek(Lba lba) const;
 
+    /**
+     * Has the device exhausted its spare blocks and entered read-only
+     * mode? Subsequent writes complete with Status::ReadOnly; reads
+     * and in-flight flushes continue.
+     */
+    bool readOnly() const { return readOnly_; }
+
     const FtlStats &stats() const { return stats_; }
     const GcStats &gcStats() const { return gcEngine_->stats(); }
     const GcEngine &gc() const { return *gcEngine_; }
@@ -150,6 +157,19 @@ class FtlBase : private GcHost
     }
 
     /**
+     * A block was retired to the bad-block list (program or erase
+     * status fail). Policies must abandon any write point open on it
+     * and drop cached per-block state; the base engine has already
+     * marked it bad and takes care of relocating its valid pages.
+     */
+    virtual void
+    onBlockRetired(std::uint32_t chip, std::uint32_t block)
+    {
+        (void)chip;
+        (void)block;
+    }
+
+    /**
      * Safety check of Sec. 4.1.4: return true if this (follower)
      * program deviated enough that the data must be re-programmed.
      */
@@ -204,6 +224,24 @@ class FtlBase : private GcHost
                        const std::vector<FlushEntry> &batch);
     void retryStalledWrites();
 
+    /** Complete a request immediately with a non-Ok status. */
+    void completeWithStatus(const ssd::HostRequest &req,
+                            const CompletionFn &done, ssd::Status status);
+
+    /**
+     * Retire a block after a program-status fail: mark it bad, notify
+     * the policy, relocate its still-valid pages to fresh blocks, and
+     * re-evaluate the read-only condition.
+     */
+    void retireBlock(std::uint32_t chip, std::uint32_t block);
+
+    /** Enter read-only mode once a chip's spare pool is exhausted. */
+    void checkReadOnly(std::uint32_t chip);
+
+    /** Re-dispatch flush batches parked while the chip's free list
+     *  was empty, as far as the replenished free list allows. */
+    void retryDeferredFlushes(std::uint32_t chip);
+
     // GcHost: services the GC engine calls back into.
     void gcProgram(std::uint32_t chip,
                    std::vector<FlushEntry> batch) override;
@@ -212,6 +250,7 @@ class FtlBase : private GcHost
     bool gcReadSoftHint(std::uint32_t chip,
                         const nand::PageAddr &addr) override;
     void gcBlockErased(std::uint32_t chip, std::uint32_t block) override;
+    void gcBlockRetired(std::uint32_t chip, std::uint32_t block) override;
     void gcBackpressureReleased() override;
 
     std::uint64_t nextVersion() { return ++versionCounter_; }
@@ -234,11 +273,21 @@ class FtlBase : private GcHost
     std::unordered_map<Lba, std::pair<std::uint64_t, std::uint64_t>>
         inFlight_;                             ///< lba -> (token, version)
     std::deque<std::shared_ptr<StalledWrite>> stalled_;
-    std::vector<bool> outstandingFlush_;       ///< per chip
+    /** Outstanding host-path flushes per chip. Normally 0/1 (the
+     *  maybeFlush throttle); bad-block relocations can push it higher
+     *  transiently, hence a count rather than a flag. */
+    std::vector<std::uint32_t> outstandingFlush_;
+    /** Host-path batches parked because the chip had no free block to
+     *  land them on (cascading retirement under fault injection).
+     *  Retried whenever GC returns a block to the free list; empty in
+     *  fault-free operation. */
+    std::vector<std::deque<std::vector<FlushEntry>>> deferredFlushes_;
     std::unique_ptr<GcEngine> gcEngine_;
     std::uint32_t flushCursor_ = 0;
     std::uint64_t versionCounter_ = 0;
     bool drainMode_ = false;
+    std::uint64_t sparePerChip_ = 0;  ///< initial spare blocks per chip
+    bool readOnly_ = false;
 
     FtlStats stats_;
 };

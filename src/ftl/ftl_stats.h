@@ -33,6 +33,16 @@ struct FtlStats
     std::uint64_t readRetries = 0;
     std::uint64_t uncorrectableReads = 0;
     std::uint64_t writeStalls = 0;
+    /** @name Failure-domain counters (fault injection) @{ */
+    std::uint64_t programFailures = 0;   ///< WL program-status fails seen
+    std::uint64_t eraseFailures = 0;     ///< erase-status fails seen
+    std::uint64_t retiredBlocks = 0;     ///< blocks on the bad-block list
+    std::uint64_t badBlockRelocations = 0; ///< valid pages remapped off them
+    std::uint64_t flushReplays = 0;      ///< failed WL batches re-dispatched
+    std::uint64_t flushDeferrals = 0;    ///< batches parked on a dry free list
+    std::uint64_t readOnlyRejects = 0;   ///< writes rejected in read-only mode
+    std::uint64_t rejectedRequests = 0;  ///< out-of-range requests refused
+    /** @} */
     SimTime programLatencySum = 0;      ///< device tPROG over all programs
 
     double

@@ -182,13 +182,23 @@ GcEngine::eraseVictim(std::uint32_t chip)
     ssd::NandOp op;
     op.kind = ssd::NandOp::Kind::Erase;
     op.block = gc.victim;
-    op.done = [this, chip](const ssd::NandOpResult &) {
+    op.done = [this, chip](const ssd::NandOpResult &r) {
         auto &gc = gc_[chip];
         const std::uint32_t victim = gc.victim;
         ++stats_.erases;
         ++mirror_.erases;
-        blockMgrs_[chip].release(victim);
-        host_.gcBlockErased(chip, victim);
+        if (r.eraseFailed) {
+            // Erase-status fail: the block never returns to the free
+            // pool. All its pages were already relocated (GC erases
+            // only fully-invalid victims), so retirement is clean.
+            blockMgrs_[chip].retire(victim);
+            ++mirror_.eraseFailures;
+            ++mirror_.retiredBlocks;
+            host_.gcBlockRetired(chip, victim);
+        } else {
+            blockMgrs_[chip].release(victim);
+            host_.gcBlockErased(chip, victim);
+        }
         gc.active = false;
         gc.erasing = false;
         // Hysteresis: keep collecting until the high watermark.

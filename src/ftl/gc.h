@@ -120,6 +120,13 @@ class GcHost
     virtual void gcBlockErased(std::uint32_t chip,
                                std::uint32_t block) = 0;
 
+    /**
+     * A victim's erase reported status fail and the block was retired
+     * to the bad-block list instead of returning to the free pool.
+     */
+    virtual void gcBlockRetired(std::uint32_t chip,
+                                std::uint32_t block) = 0;
+
     /** Free blocks were reclaimed: retry any held-back host flushes. */
     virtual void gcBackpressureReleased() = 0;
 };

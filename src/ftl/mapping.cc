@@ -11,12 +11,14 @@ MappingTable::MappingTable(std::uint64_t logicalPages)
         fatal("MappingTable: zero logical pages");
 }
 
-Ppa
+std::optional<Ppa>
 MappingTable::lookup(Lba lba) const
 {
     if (lba >= l2p_.size())
         panic("MappingTable::lookup: LBA %llu out of range",
               static_cast<unsigned long long>(lba));
+    if (l2p_[lba] == kInvalidPpa)
+        return std::nullopt;
     return l2p_[lba];
 }
 
@@ -28,7 +30,7 @@ MappingTable::mappedVersion(Lba lba) const
     return version_[lba];
 }
 
-Ppa
+std::optional<Ppa>
 MappingTable::map(Lba lba, Ppa ppa, std::uint64_t version)
 {
     if (lba >= l2p_.size())
@@ -38,6 +40,8 @@ MappingTable::map(Lba lba, Ppa ppa, std::uint64_t version)
         ++mapped_;
     l2p_[lba] = ppa;
     version_[lba] = version;
+    if (old == kInvalidPpa)
+        return std::nullopt;
     return old;
 }
 

@@ -12,6 +12,7 @@
 #define CUBESSD_FTL_MAPPING_H
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "src/common/types.h"
@@ -25,18 +26,22 @@ class MappingTable
 
     std::uint64_t logicalPages() const { return l2p_.size(); }
 
-    /** @return mapped PPA or kInvalidPpa. */
-    Ppa lookup(Lba lba) const;
+    /**
+     * @return the mapped PPA, or std::nullopt if the LBA was never
+     *         written (the "maybe absent" idiom of cubessd.h — no
+     *         sentinel values cross the API).
+     */
+    std::optional<Ppa> lookup(Lba lba) const;
 
     /** Version of the data currently mapped (0 if never written). */
     std::uint64_t mappedVersion(Lba lba) const;
 
     /**
      * Point `lba` at `ppa` with `version`.
-     * @return the previously mapped PPA (kInvalidPpa if none), which
+     * @return the previously mapped PPA (std::nullopt if none), which
      *         the caller must invalidate.
      */
-    Ppa map(Lba lba, Ppa ppa, std::uint64_t version);
+    std::optional<Ppa> map(Lba lba, Ppa ppa, std::uint64_t version);
 
     /** Number of currently mapped logical pages. */
     std::uint64_t mappedCount() const { return mapped_; }

@@ -26,6 +26,16 @@ PageFtl::nextWl(std::uint32_t chip, WritePoint &wp)
     return wl;
 }
 
+void
+PageFtl::onBlockRetired(std::uint32_t chip, std::uint32_t block)
+{
+    // The next nextWl() on an abandoned point allocates a fresh block.
+    if (hostWp_[chip].open && hostWp_[chip].block == block)
+        hostWp_[chip].open = false;
+    if (gcWp_[chip].open && gcWp_[chip].block == block)
+        gcWp_[chip].open = false;
+}
+
 ProgramChoice
 PageFtl::chooseProgramTarget(std::uint32_t chip, bool forGc, double mu)
 {

@@ -26,6 +26,10 @@ class PageFtl : public FtlBase
     ProgramChoice chooseProgramTarget(std::uint32_t chip, bool forGc,
                                       double mu) override;
 
+    /** Abandon any write point open on a retired block. */
+    void onBlockRetired(std::uint32_t chip,
+                        std::uint32_t block) override;
+
     /**
      * Program parameters for the next WL; the default implementation
      * returns the nominal command. VertFtl overrides this with its

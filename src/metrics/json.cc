@@ -217,6 +217,13 @@ writeRequestMetrics(JsonWriter &w, const RequestMetrics &m)
         writePhasesUs(w, m.phases(type));
         w.endObject();
     }
+    w.key("status");
+    w.beginObject();
+    const auto &counts = m.statusCounts();
+    for (std::size_t s = 0; s < counts.size(); ++s)
+        w.field(ssd::statusName(static_cast<ssd::Status>(s)),
+                counts[s]);
+    w.endObject();
     w.endObject();
 }
 

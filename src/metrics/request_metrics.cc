@@ -24,6 +24,7 @@ RequestMetrics::record(const ssd::Completion &completion)
     p.bus.add(static_cast<std::uint64_t>(completion.phases.bus));
     p.die.add(static_cast<std::uint64_t>(completion.phases.die));
     p.retry.add(static_cast<std::uint64_t>(completion.phases.retry));
+    ++statusCounts_[static_cast<std::size_t>(completion.status)];
 }
 
 void
@@ -33,6 +34,8 @@ RequestMetrics::merge(const RequestMetrics &other)
         latency_[i].merge(other.latency_[i]);
         phases_[i].merge(other.phases_[i]);
     }
+    for (std::size_t s = 0; s < statusCounts_.size(); ++s)
+        statusCounts_[s] += other.statusCounts_[s];
 }
 
 namespace {

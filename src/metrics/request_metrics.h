@@ -14,6 +14,7 @@
 #ifndef CUBESSD_METRICS_REQUEST_METRICS_H
 #define CUBESSD_METRICS_REQUEST_METRICS_H
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -57,6 +58,13 @@ class RequestMetrics
         return latency_[index(type)].total();
     }
 
+    /** Completions per ssd::Status (index with the enum value). */
+    const std::array<std::uint64_t, ssd::kStatusCount> &
+    statusCounts() const
+    {
+        return statusCounts_;
+    }
+
     void merge(const RequestMetrics &other);
 
   private:
@@ -67,6 +75,7 @@ class RequestMetrics
 
     LatencyHistogram latency_[2];
     PhaseHistograms phases_[2];
+    std::array<std::uint64_t, ssd::kStatusCount> statusCounts_{};
 };
 
 /**

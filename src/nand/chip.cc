@@ -13,6 +13,7 @@ NandChip::NandChip(const NandChipConfig &config)
       ispp_(config.ispp, errors_),
       ecc_(config.ecc),
       read_(config.read, vth_, errors_, ecc_),
+      faults_(config.faults, errors_, config.seed),
       rng_(config.seed ^ 0xC0FFEE123456789ull)
 {
     blocks_.resize(config_.geometry.blocksPerChip);
@@ -45,18 +46,27 @@ NandChip::pageIndexInBlock(const PageAddr &addr) const
 }
 
 SimTime
-NandChip::eraseBlock(std::uint32_t block)
+NandChip::eraseBlock(std::uint32_t block, bool *failed)
 {
     if (block >= blocks_.size())
         panic("eraseBlock: block %u out of range", block);
     auto &state = blocks_[block];
+    const bool fail = faults_.eraseFails(blockAging(block));
     ++state.eraseCount;
+    if (failed)
+        *failed = fail;
+    ++stats_.erases;
+    stats_.totalEraseTime += config_.timing.tErase;
+    if (fail) {
+        // Status fail: the block keeps its contents and is unusable;
+        // the FTL retires it. The attempt still costs tErase and wear.
+        ++stats_.eraseFailures;
+        return config_.timing.tErase;
+    }
     for (auto &wl : state.wls)
         wl = WlState{};
     for (auto &token : state.tokens)
         token = 0;
-    ++stats_.erases;
-    stats_.totalEraseTime += config_.timing.tErase;
     return config_.timing.tErase;
 }
 
@@ -86,6 +96,21 @@ NandChip::programWl(const WlAddr &addr, const ProgramCommand &cmd,
     if (cmd.nonDefault()) {
         result.tProg += config_.timing.tFeatureSet;
         ++stats_.featureSets;
+    }
+
+    if (faults_.programFails(q, aging)) {
+        // Status fail after the full program attempt: the WL holds no
+        // valid data, the block must be retired by the FTL. Time and
+        // verify work are still spent.
+        result.failed = true;
+        ++stats_.wlPrograms;
+        ++stats_.programFailures;
+        stats_.verifiesDone +=
+            static_cast<std::uint64_t>(result.verifiesDone);
+        stats_.verifiesSkipped +=
+            static_cast<std::uint64_t>(result.verifiesSkipped);
+        stats_.totalProgramTime += result.tProg;
+        return result;
     }
 
     wl.programmedPages =
@@ -122,7 +147,10 @@ NandChip::readPage(const PageAddr &addr, MilliVolt appliedShiftMv,
     ReadOutcome out = read_.read(addr.block, q, aging,
                                  process_.chipFactor(),
                                  static_cast<double>(wl.berMultiplier),
-                                 appliedShiftMv, rng_, softHint);
+                                 appliedShiftMv, rng_, softHint,
+                                 faults_.enabled()
+                                     ? config_.faults.uncorrectableNormLimit
+                                     : 0.0);
     if (appliedShiftMv != 0) {
         out.tRead += config_.timing.tFeatureSet;
         ++stats_.featureSets;

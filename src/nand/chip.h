@@ -30,6 +30,7 @@
 #include "src/common/types.h"
 #include "src/ecc/ecc.h"
 #include "src/nand/error_model.h"
+#include "src/nand/fault_injector.h"
 #include "src/nand/geometry.h"
 #include "src/nand/ispp.h"
 #include "src/nand/process_model.h"
@@ -50,6 +51,7 @@ struct NandChipConfig
     ReadParams read{};
     NandTiming timing{};
     ecc::EccConfig ecc{};
+    FaultParams faults{};
     /** Chip identity: chips with different seeds are different dies. */
     std::uint64_t seed = 1;
 };
@@ -62,6 +64,8 @@ struct NandChipStats
     std::uint64_t pageReads = 0;
     std::uint64_t readRetries = 0;
     std::uint64_t uncorrectableReads = 0;
+    std::uint64_t programFailures = 0;  ///< injected program-status fails
+    std::uint64_t eraseFailures = 0;    ///< injected erase-status fails
     std::uint64_t verifiesDone = 0;
     std::uint64_t verifiesSkipped = 0;
     std::uint64_t featureSets = 0;
@@ -85,6 +89,7 @@ class NandChip
     const ReadModel &readModel() const { return read_; }
     const ecc::EccModel &ecc() const { return ecc_; }
     const NandTiming &timing() const { return config_.timing; }
+    const FaultInjector &faultInjector() const { return faults_; }
     /** @} */
 
     /**
@@ -98,8 +103,13 @@ class NandChip
     /** Effective aging of one block (injected + runtime erases). */
     AgingState blockAging(std::uint32_t block) const;
 
-    /** Erase a block. @return the erase latency. */
-    SimTime eraseBlock(std::uint32_t block);
+    /**
+     * Erase a block. @return the erase latency.
+     * @param failed if non-null, receives the erase status (true =
+     *        status fail: the block kept its contents and must be
+     *        retired; only possible with fault injection enabled).
+     */
+    SimTime eraseBlock(std::uint32_t block, bool *failed = nullptr);
 
     /**
      * One-shot program of all pages of a word line.
@@ -180,6 +190,7 @@ class NandChip
     IsppEngine ispp_;
     ecc::EccModel ecc_;
     ReadModel read_;
+    FaultInjector faults_;
     Rng rng_;
     AgingState baseAging_{};
     std::vector<BlockState> blocks_;

@@ -121,6 +121,9 @@ struct WlProgramResult
     double berMultiplier = 1.0;
     /** True if V_Final truncation cut off the slowest cells. */
     bool truncated = false;
+    /** True if the chip reported program-status fail: the WL holds no
+     *  data and the FTL must retire the block (FaultInjector). */
+    bool failed = false;
 };
 
 /**

@@ -21,8 +21,8 @@ ReadModel::rawBerNorm(double alignedNorm, double missMv) const
 ReadOutcome
 ReadModel::read(std::uint32_t block, double q, const AgingState &aging,
                 double chipFactor, double berMultiplier,
-                MilliVolt appliedShiftMv, Rng &rng,
-                bool softHint) const
+                MilliVolt appliedShiftMv, Rng &rng, bool softHint,
+                double uncorrectableNormLimit) const
 {
     ReadOutcome out;
 
@@ -31,6 +31,11 @@ ReadModel::read(std::uint32_t block, double q, const AgingState &aging,
         rng.normal(0.0, vth_.params().readJitterMv);
     const double alignedNorm =
         errors_.normalizedBer(q, aging, chipFactor) * berMultiplier;
+    // Injected fault: the WL is degraded beyond what any reference
+    // shift can recover, so every ECC attempt fails and the walk runs
+    // to exhaustion before reporting uncorrectable.
+    const bool beyondRecovery =
+        uncorrectableNormLimit > 0.0 && alignedNorm > uncorrectableNormLimit;
     const double baseBer = errors_.params().baseBer;
     MilliVolt applied = appliedShiftMv;
     MilliVolt step = vth_.params().retryStepMv;
@@ -42,7 +47,7 @@ ReadModel::read(std::uint32_t block, double q, const AgingState &aging,
         out.rawBerNorm = rawBerNorm(alignedNorm, miss);
         decodeTime +=
             ecc_.decodeLatencyNs(out.rawBerNorm * baseBer, softHint);
-        if (ecc_.correctable(out.rawBerNorm * baseBer)) {
+        if (!beyondRecovery && ecc_.correctable(out.rawBerNorm * baseBer)) {
             if (attempts == 0) {
                 out.successShiftMv = applied;
             } else {

@@ -75,11 +75,18 @@ class ReadModel
      * @param softHint      controller expects a noisy page and starts
      *                       with the soft decode (paper Sec. 8's
      *                       leader-informed ECC; see EccModel)
+     * @param uncorrectableNormLimit if > 0, a WL whose aligned
+     *                       normalized BER exceeds this limit cannot
+     *                       be decoded at any reference: the retry
+     *                       walk runs to exhaustion, falls through the
+     *                       soft LDPC mode, and the read completes
+     *                       uncorrectable (FaultParams)
      */
     ReadOutcome read(std::uint32_t block, double q,
                      const AgingState &aging, double chipFactor,
                      double berMultiplier, MilliVolt appliedShiftMv,
-                     Rng &rng, bool softHint = false) const;
+                     Rng &rng, bool softHint = false,
+                     double uncorrectableNormLimit = 0.0) const;
 
     /**
      * Raw BER of a sense at `missMv` away from the optimal references

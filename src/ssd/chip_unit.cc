@@ -67,7 +67,7 @@ ChipUnit::execute(NandOp op)
         break;
       }
       case NandOp::Kind::Erase: {
-        result.dieTime = chip_.eraseBlock(op.block);
+        result.dieTime = chip_.eraseBlock(op.block, &result.eraseFailed);
         result.end = now + result.dieTime;
         break;
       }

@@ -38,6 +38,7 @@ struct NandOpResult
     SimTime dieTime = 0; ///< on-die time (sense+decode / ISPP / erase)
     nand::ReadOutcome read{};          ///< valid for reads
     nand::WlProgramResult program{};   ///< valid for programs
+    bool eraseFailed = false;          ///< valid for erases (status fail)
 };
 
 /** Completion callback. */

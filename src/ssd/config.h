@@ -11,6 +11,7 @@
 #define CUBESSD_SSD_CONFIG_H
 
 #include <cstdint>
+#include <string>
 
 #include "src/nand/chip.h"
 
@@ -89,6 +90,19 @@ struct SsdConfig
     std::uint64_t seed = 42;
 
     std::uint32_t totalChips() const { return channels * chipsPerChannel; }
+
+    /**
+     * Check the configuration for contradictions that would otherwise
+     * surface as fatal errors deep inside construction: zero geometry,
+     * a logicalFraction outside (0, 1], misordered GC watermarks, a
+     * write buffer smaller than one WL, out-of-range fault
+     * probabilities, or too little over-provisioned space for the GC
+     * watermarks.
+     *
+     * @return an empty string if the configuration is usable, else a
+     *         descriptive error message naming the offending field.
+     */
+    std::string validate() const;
 
     /** Number of host-visible logical pages. */
     std::uint64_t

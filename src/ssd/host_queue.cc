@@ -12,7 +12,7 @@ HostQueue::HostQueue(sim::EventQueue &queue, ftl::FtlBase &ftl,
 {
 }
 
-void
+RequestId
 HostQueue::submit(HostRequest req, CompletionFn done)
 {
     if (req.id == 0)
@@ -23,6 +23,7 @@ HostQueue::submit(HostRequest req, CompletionFn done)
                       [this, req, done = std::move(done)]() {
                           admit(req, done);
                       });
+    return req.id;
 }
 
 void

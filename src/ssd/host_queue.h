@@ -76,9 +76,10 @@ class HostQueue
     /**
      * Submit a request. It arrives at max(now, req.arrival), waits for
      * a free slot if the queue is at depth, and `done` fires at
-     * completion with all three timestamps filled in.
+     * completion with all three timestamps and the Status filled in.
+     * @return the request id (req.id, or a fresh id if it was 0).
      */
-    void submit(HostRequest req, CompletionFn done);
+    RequestId submit(HostRequest req, CompletionFn done);
 
     std::uint32_t depth() const { return depth_; }
     std::uint64_t inFlight() const { return inFlight_; }

@@ -9,6 +9,7 @@
 #ifndef CUBESSD_SSD_REQUEST_H
 #define CUBESSD_SSD_REQUEST_H
 
+#include <cstddef>
 #include <cstdint>
 
 #include "src/common/types.h"
@@ -16,6 +17,55 @@
 namespace cubessd::ssd {
 
 enum class IoType { Read, Write };
+
+/**
+ * Completion status of a host request.
+ *
+ * Ordered from benign to severe; a multi-page request reports the
+ * worst per-page outcome. Anything other than Ok means the request
+ * did not fully succeed:
+ *
+ *  - Uncorrectable: a read exhausted the retry walk and soft-decision
+ *    LDPC without decoding; the data for at least one page is lost.
+ *  - ProgramFailed: a write could not be made durable even after the
+ *    FTL replayed it to a fresh block.
+ *  - ReadOnly: the device has exhausted its spare blocks and rejects
+ *    all new writes; reads continue to be served.
+ *  - Rejected: the request never entered the pipeline (e.g. the LBA
+ *    range lies beyond the logical capacity).
+ */
+enum class Status : std::uint8_t {
+    Ok = 0,
+    Uncorrectable,
+    ProgramFailed,
+    ReadOnly,
+    Rejected,
+};
+
+/** Number of Status values (for per-status counter arrays). */
+inline constexpr std::size_t kStatusCount = 5;
+
+inline const char *statusName(Status status)
+{
+    switch (status) {
+    case Status::Ok: return "ok";
+    case Status::Uncorrectable: return "uncorrectable";
+    case Status::ProgramFailed: return "program_failed";
+    case Status::ReadOnly: return "read_only";
+    case Status::Rejected: return "rejected";
+    }
+    return "unknown";
+}
+
+/** Merge per-page outcomes: the worse (higher-severity) status wins. */
+inline Status worseStatus(Status a, Status b)
+{
+    return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b) ? a
+                                                                        : b;
+}
+
+/** Identifier assigned by the host queue at submission. */
+using RequestId = std::uint64_t;
 
 /** One host I/O request. */
 struct HostRequest
@@ -59,8 +109,10 @@ struct Completion
     SimTime arrival = 0;   ///< submitted to the host queue
     SimTime start = 0;     ///< dispatched into the FTL (HostQueue)
     SimTime finish = 0;
+    Status status = Status::Ok;
     PhaseTimes phases{};   ///< where the time went (trace record)
 
+    bool ok() const { return status == Status::Ok; }
     SimTime latency() const { return finish - arrival; }
     /** Time spent waiting for a device queue slot. */
     SimTime queueWait() const { return start - arrival; }

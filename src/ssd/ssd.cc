@@ -9,6 +9,67 @@
 
 namespace cubessd::ssd {
 
+std::string
+SsdConfig::validate() const
+{
+    if (channels == 0)
+        return "channels must be at least 1";
+    if (chipsPerChannel == 0)
+        return "chipsPerChannel must be at least 1";
+
+    const auto &geom = chip.geometry;
+    if (geom.blocksPerChip == 0 || geom.layersPerBlock == 0 ||
+        geom.wlsPerLayer == 0 || geom.pagesPerWl == 0 ||
+        geom.pageSizeBytes == 0) {
+        return "chip.geometry has a zero dimension (blocksPerChip, "
+               "layersPerBlock, wlsPerLayer, pagesPerWl and "
+               "pageSizeBytes must all be positive)";
+    }
+
+    if (!(logicalFraction > 0.0) || logicalFraction > 1.0)
+        return "logicalFraction must be in (0, 1]";
+
+    if (writeBufferPages < geom.pagesPerWl)
+        return "writeBufferPages must hold at least one WL (" +
+               std::to_string(geom.pagesPerWl) + " pages)";
+
+    if (gcUrgentWatermark >= gcLowWatermark)
+        return "gcUrgentWatermark must be below gcLowWatermark "
+               "(urgent backpressure engages before normal GC)";
+    if (gcLowWatermark > gcHighWatermark)
+        return "gcLowWatermark must not exceed gcHighWatermark "
+               "(GC hysteresis range is [low, high])";
+
+    // Over-provisioned space must cover the active write points plus
+    // the GC watermarks on every chip (same floor FtlBase enforces).
+    const std::uint64_t dataBlocksPerChip =
+        (logicalPages() / totalChips() + geom.pagesPerBlock() - 1) /
+        geom.pagesPerBlock();
+    const std::uint64_t spare = geom.blocksPerChip > dataBlocksPerChip
+        ? geom.blocksPerChip - dataBlocksPerChip
+        : 0;
+    if (spare < gcHighWatermark + 3)
+        return "only " + std::to_string(spare) +
+               " spare blocks per chip; need at least gcHighWatermark "
+               "+ 3 = " + std::to_string(gcHighWatermark + 3) +
+               " (lower logicalFraction or grow blocksPerChip)";
+
+    const auto &faults = chip.faults;
+    if (faults.programFailBase < 0.0 || faults.programFailBase > 1.0)
+        return "chip.faults.programFailBase must be a probability "
+               "in [0, 1]";
+    if (faults.eraseFailBase < 0.0 || faults.eraseFailBase > 1.0)
+        return "chip.faults.eraseFailBase must be a probability "
+               "in [0, 1]";
+    if (faults.uncorrectableNormLimit < 0.0)
+        return "chip.faults.uncorrectableNormLimit must be >= 0 "
+               "(0 disables the limit)";
+    if (faults.wearScale < 0.0)
+        return "chip.faults.wearScale must be >= 0";
+
+    return {};
+}
+
 const char *
 ftlKindName(FtlKind kind)
 {
@@ -24,8 +85,8 @@ ftlKindName(FtlKind kind)
 Ssd::Ssd(const SsdConfig &config)
     : config_(config)
 {
-    if (config_.channels == 0 || config_.chipsPerChannel == 0)
-        fatal("Ssd: need at least one channel and one chip");
+    if (const std::string err = config_.validate(); !err.empty())
+        fatal("Ssd: invalid configuration: %s", err.c_str());
 
     channels_.resize(config_.channels);
     chips_.reserve(config_.totalChips());
@@ -76,11 +137,11 @@ Ssd::setAging(const nand::AgingState &aging)
         chip.setAging(aging);
 }
 
-void
+RequestId
 Ssd::submit(HostRequest req,
             std::function<void(const Completion &)> done)
 {
-    hostQueue_->submit(std::move(req), std::move(done));
+    return hostQueue_->submit(std::move(req), std::move(done));
 }
 
 Completion

@@ -10,8 +10,10 @@
  *   config.ftl = ssd::FtlKind::Cube;
  *   ssd::Ssd ssd(config);
  *   ssd.submit({.type = ssd::IoType::Write, .lba = 0, .pages = 8},
- *              [](const ssd::Completion &c) { ... });
- *   ssd.queue().run();
+ *              [](const ssd::Completion &c) {
+ *                  // check c.status: Ok, Uncorrectable, ReadOnly, ...
+ *              });
+ *   ssd.drain();  // flush the write buffer, run all pending events
  * @endcode
  */
 
@@ -76,12 +78,16 @@ class Ssd
     /**
      * Submit a request through the host queue; it arrives at
      * max(now, req.arrival), waits for a queue slot if the configured
-     * queue depth is exhausted, and `done` fires at completion.
+     * queue depth is exhausted, and `done` fires at completion with
+     * Completion::status carrying the outcome (requests never fail
+     * silently — check `c.status` / `c.ok()`).
+     * @return the id assigned to the request.
      */
-    void submit(HostRequest req,
-                std::function<void(const Completion &)> done);
+    RequestId submit(HostRequest req,
+                     std::function<void(const Completion &)> done);
 
-    /** Submit and run the queue until this request completes. */
+    /** Submit and run the queue until this request completes. The
+     *  returned Completion carries the request's Status. */
     Completion submitSync(HostRequest req);
 
     /** Flush the write buffer and run all pending events. */

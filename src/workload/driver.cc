@@ -88,12 +88,19 @@ Driver::submitOne(std::uint32_t thread)
 
     ssd_.hostQueue().submit(req, [this,
                                   thread](const ssd::Completion &c) {
+        // Every measured request is awaited before run() returns and
+        // nulls result_; a completion arriving with result_ == nullptr
+        // means a request leaked past the measured window.
+        if (result_ == nullptr)
+            panic("Driver: completion after the measured window "
+                  "(id %llu)", static_cast<unsigned long long>(c.id));
         auto &rec = c.type == ssd::IoType::Read
                         ? result_->readLatencyUs
                         : result_->writeLatencyUs;
         rec.add(toMicroseconds(c.latency()));
         result_->queueWaitUs.add(toMicroseconds(c.queueWait()));
         result_->requestMetrics.record(c);
+        ++result_->statusCounts[static_cast<std::size_t>(c.status)];
         ++result_->completedRequests;
         --outstanding_;
         auto &t = threads_[thread];

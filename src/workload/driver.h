@@ -16,6 +16,7 @@
 #ifndef CUBESSD_WORKLOAD_DRIVER_H
 #define CUBESSD_WORKLOAD_DRIVER_H
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -30,6 +31,9 @@ namespace cubessd::workload {
 struct RunResult
 {
     std::uint64_t completedRequests = 0;
+    /** Completions per ssd::Status (index with the enum value);
+     *  statusCounts[0] counts the successes. */
+    std::array<std::uint64_t, ssd::kStatusCount> statusCounts{};
     SimTime elapsed = 0;
     double iops = 0.0;
     LatencyRecorder readLatencyUs;
@@ -42,6 +46,16 @@ struct RunResult
     metrics::RequestMetrics requestMetrics;
     /** Channel/die busy fractions over the measured window. */
     metrics::Utilization utilization;
+
+    /** Completions that did not finish with Status::Ok. */
+    std::uint64_t
+    failedRequests() const
+    {
+        std::uint64_t failed = 0;
+        for (std::size_t s = 1; s < statusCounts.size(); ++s)
+            failed += statusCounts[s];
+        return failed;
+    }
 };
 
 class Driver

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "src/ftl/mapping.h"
 
 namespace cubessd::ftl {
@@ -14,7 +16,7 @@ TEST(Mapping, StartsUnmapped)
 {
     MappingTable map(100);
     for (Lba l = 0; l < 100; ++l) {
-        EXPECT_EQ(map.lookup(l), kInvalidPpa);
+        EXPECT_EQ(map.lookup(l), std::nullopt);
         EXPECT_EQ(map.mappedVersion(l), 0u);
     }
     EXPECT_EQ(map.mappedCount(), 0u);
@@ -23,7 +25,7 @@ TEST(Mapping, StartsUnmapped)
 TEST(Mapping, MapReturnsOldPpa)
 {
     MappingTable map(10);
-    EXPECT_EQ(map.map(3, 777, 1), kInvalidPpa);
+    EXPECT_EQ(map.map(3, 777, 1), std::nullopt);
     EXPECT_EQ(map.lookup(3), 777u);
     EXPECT_EQ(map.mappedVersion(3), 1u);
     EXPECT_EQ(map.map(3, 888, 2), 777u);

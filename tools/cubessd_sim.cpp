@@ -37,6 +37,7 @@ struct Options
     std::uint32_t qd = 0;
     bool verbose = false;
     std::string metricsOut;
+    nand::FaultParams faults{};
 };
 
 void
@@ -66,7 +67,19 @@ usage()
         "                                 JSON: per-IoType latency\n"
         "                                 percentiles (p50/p95/p99/p99.9),\n"
         "                                 phase decomposition, channel and\n"
-        "                                 die utilization, FTL/GC stats\n"
+        "                                 die utilization, FTL/GC stats,\n"
+        "                                 per-Status completion counts and\n"
+        "                                 failure-domain counters\n"
+        "  --fault-program <p>            per-WL program-failure base\n"
+        "                                 probability (enables injection)\n"
+        "  --fault-erase <p>              per-block erase-failure base\n"
+        "                                 probability (enables injection)\n"
+        "  --fault-read-limit <norm>      normalized-BER ceiling beyond\n"
+        "                                 which a read is uncorrectable\n"
+        "                                 (0 = unlimited; enables\n"
+        "                                 injection)\n"
+        "  --fault-wear-scale <x>         how strongly P/E wear amplifies\n"
+        "                                 fault probabilities (default 6)\n"
         "  --verbose                      print per-chip statistics\n"
         "  --help                         this text\n";
 }
@@ -130,6 +143,17 @@ parseArgs(int argc, char **argv)
             opt.qd = static_cast<std::uint32_t>(std::atoi(value()));
         } else if (arg == "--metrics-out") {
             opt.metricsOut = value();
+        } else if (arg == "--fault-program") {
+            opt.faults.programFailBase = std::atof(value());
+            opt.faults.enabled = true;
+        } else if (arg == "--fault-erase") {
+            opt.faults.eraseFailBase = std::atof(value());
+            opt.faults.enabled = true;
+        } else if (arg == "--fault-read-limit") {
+            opt.faults.uncorrectableNormLimit = std::atof(value());
+            opt.faults.enabled = true;
+        } else if (arg == "--fault-wear-scale") {
+            opt.faults.wearScale = std::atof(value());
         } else if (arg == "--verbose") {
             opt.verbose = true;
         } else {
@@ -165,6 +189,15 @@ writeMetricsFile(const std::string &path, const Options &opt,
     w.field("requests", opt.requests);
     w.field("seed", opt.seed);
     w.field("queue_depth", static_cast<std::uint64_t>(opt.qd));
+    w.key("faults");
+    w.beginObject();
+    w.field("enabled", opt.faults.enabled);
+    w.field("program_fail_base", opt.faults.programFailBase);
+    w.field("erase_fail_base", opt.faults.eraseFailBase);
+    w.field("uncorrectable_norm_limit",
+            opt.faults.uncorrectableNormLimit);
+    w.field("wear_scale", opt.faults.wearScale);
+    w.endObject();
     w.endObject();
 
     w.key("run");
@@ -172,6 +205,8 @@ writeMetricsFile(const std::string &path, const Options &opt,
     w.field("iops", result.iops);
     w.field("elapsed_s", toSeconds(result.elapsed));
     w.field("completed", result.completedRequests);
+    w.field("failed", result.failedRequests());
+    w.field("read_only", dev.ftl().readOnly());
     w.endObject();
 
     w.key("requests");
@@ -198,6 +233,18 @@ writeMetricsFile(const std::string &path, const Options &opt,
     w.field("avg_program_latency_us", stats.avgProgramLatencyUs());
     w.endObject();
 
+    w.key("failures");
+    w.beginObject();
+    w.field("program_failures", stats.programFailures);
+    w.field("erase_failures", stats.eraseFailures);
+    w.field("retired_blocks", stats.retiredBlocks);
+    w.field("bad_block_relocations", stats.badBlockRelocations);
+    w.field("flush_replays", stats.flushReplays);
+    w.field("uncorrectable_reads", stats.uncorrectableReads);
+    w.field("read_only_rejects", stats.readOnlyRejects);
+    w.field("rejected_requests", stats.rejectedRequests);
+    w.endObject();
+
     const auto &gc = dev.ftl().gcStats();
     w.key("gc");
     w.beginObject();
@@ -222,9 +269,15 @@ main(int argc, char **argv)
 
     ssd::SsdConfig config;
     config.chip.geometry.blocksPerChip = opt.blocks;
+    config.chip.faults = opt.faults;
     config.ftl = parseFtl(opt.ftl);
     config.seed = opt.seed;
     config.hostQueueDepth = opt.qd;
+    if (const std::string err = config.validate(); !err.empty()) {
+        std::cerr << "cubessd_sim: invalid configuration: " << err
+                  << '\n';
+        return 2;
+    }
     ssd::Ssd dev(config);
 
     auto spec = parseWorkload(opt.workload);
@@ -282,6 +335,19 @@ main(int argc, char **argv)
     table.row({"read retries", std::to_string(stats.readRetries)});
     table.row({"safety re-programs",
                std::to_string(stats.safetyReprograms)});
+    if (opt.faults.enabled) {
+        table.row({"failed requests",
+                   std::to_string(result.failedRequests())});
+        table.row({"retired blocks",
+                   std::to_string(stats.retiredBlocks)});
+        table.row({"bad-block relocations",
+                   std::to_string(stats.badBlockRelocations)});
+        table.row({"flush replays", std::to_string(stats.flushReplays)});
+        table.row({"uncorrectable reads",
+                   std::to_string(stats.uncorrectableReads)});
+        table.row({"read-only mode",
+                   dev.ftl().readOnly() ? "yes" : "no"});
+    }
     if (opt.qd > 0) {
         const double meanLatencyUs =
             (result.readLatencyUs.mean() * result.readLatencyUs.count() +
