@@ -21,13 +21,58 @@
 #define CUBESSD_BENCH_BENCH_UTIL_H
 
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "src/cubessd.h"
 
 namespace cubessd::bench {
+
+/**
+ * Optional tracing for the system-level benches. Parsed from argv
+ * (`--trace-out <file> [--sample-interval-us <n>]`) by the benches'
+ * main(); when set, runWorkload records the FIRST evaluation run into
+ * a Chrome trace file. Only the first run is traced: the benches
+ * repeat runs across seeds/FTLs and one representative timeline is
+ * what a reader wants to open in Perfetto. The quoted stdout and the
+ * JSON sidecars are unaffected either way.
+ */
+struct TraceOptions
+{
+    std::string out;
+    std::uint64_t sampleIntervalUs = 1000;
+};
+
+inline TraceOptions &
+traceOptions()
+{
+    static TraceOptions options;
+    return options;
+}
+
+inline void
+parseTraceOptions(int argc, char **argv)
+{
+    auto &options = traceOptions();
+    for (int i = 1; i < argc; ++i) {
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", argv[i]);
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--trace-out") == 0)
+            options.out = value();
+        else if (std::strcmp(argv[i], "--sample-interval-us") == 0)
+            options.sampleIntervalUs =
+                static_cast<std::uint64_t>(std::atoll(value()));
+        else
+            fatal("unknown option '%s' (benches accept --trace-out "
+                  "<file> and --sample-interval-us <n>)", argv[i]);
+    }
+}
 
 inline bool
 fullScale()
@@ -106,9 +151,39 @@ runWorkload(ssd::FtlKind kind, const workload::WorkloadSpec &spec,
     dev.setAging({aging.peCycles, 0.0});
     driver.prefill(0.2);
     dev.setAging(aging);
+
+    // Trace the first measured run when requested (prefill excluded:
+    // its bulk writes would flood the ring buffer).
+    static bool traced = false;
+    std::unique_ptr<trace::TraceSession> traceSession;
+    trace::CounterRegistry counters;
+    if (!traceOptions().out.empty() && !traced) {
+        traced = true;
+        traceSession = std::make_unique<trace::TraceSession>();
+        dev.attachTrace(traceSession.get());
+        if (traceOptions().sampleIntervalUs > 0) {
+            dev.registerCounters(counters);
+            counters.attachTrace(traceSession.get());
+            counters.installSampler(dev.queue(),
+                                    traceOptions().sampleIntervalUs *
+                                        1000);
+        }
+    }
+
     auto result = driver.run(requests);
     if (statsOut != nullptr)
         *statsOut = dev.ftl().stats();
+
+    if (traceSession) {
+        std::ofstream traceFile(traceOptions().out);
+        if (!traceFile)
+            fatal("cannot open trace file '%s'",
+                  traceOptions().out.c_str());
+        traceSession->writeJson(traceFile);
+        std::cerr << "trace written to " << traceOptions().out << " ("
+                  << traceSession->recorded() << " events recorded, "
+                  << traceSession->dropped() << " dropped)\n";
+    }
     return result;
 }
 

@@ -23,8 +23,9 @@
 using namespace cubessd;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseTraceOptions(argc, argv);
     std::cout << "=== Fig. 17: normalized IOPS under six workloads ===\n"
               << (bench::fullScale()
                       ? "(full-scale 32 GB configuration)\n"

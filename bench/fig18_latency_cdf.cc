@@ -19,8 +19,9 @@
 using namespace cubessd;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseTraceOptions(argc, argv);
     std::cout << "=== Fig. 18: latency CDFs, Rocks @ fresh ===\n";
     // The paper's latency experiment runs at moderate load: commit
     // bursts overflow the write buffer (so writes genuinely wait for

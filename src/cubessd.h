@@ -46,6 +46,8 @@
 #include "src/nand/chip.h"
 #include "src/sim/event_queue.h"
 #include "src/ssd/ssd.h"
+#include "src/trace/counters.h"
+#include "src/trace/trace.h"
 #include "src/workload/driver.h"
 #include "src/workload/trace.h"
 #include "src/workload/workload.h"

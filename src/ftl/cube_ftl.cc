@@ -1,6 +1,7 @@
 #include "src/ftl/cube_ftl.h"
 
 #include "src/common/logging.h"
+#include "src/trace/counters.h"
 
 namespace cubessd::ftl {
 
@@ -18,6 +19,22 @@ CubeFtl::CubeFtl(const ssd::SsdConfig &config,
       features_(features),
       state_(chipCount())
 {
+}
+
+void
+CubeFtl::registerCounters(trace::CounterRegistry &reg)
+{
+    FtlBase::registerCounters(reg);
+    reg.add("ort_hit_rate", "percent", [this](SimTime) {
+        const auto total = ort_.hits() + ort_.misses();
+        return total == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(ort_.hits()) /
+                  static_cast<double>(total);
+    });
+    reg.add("follower_fast_path", "programs", [this](SimTime) {
+        return static_cast<double>(cubeStats_.followerWithParams);
+    });
 }
 
 void

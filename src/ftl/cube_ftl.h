@@ -52,6 +52,10 @@ class CubeFtl : public FtlBase
     const Ort &ort() const { return ort_; }
     const CubeFtlStats &cubeStats() const { return cubeStats_; }
 
+    /** Engine gauges plus the ORT hit rate and follower fast-path
+     *  count (the PS mechanisms as time-series). */
+    void registerCounters(trace::CounterRegistry &reg) override;
+
   protected:
     ProgramChoice chooseProgramTarget(std::uint32_t chip, bool forGc,
                                       double mu) override;

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/trace/counters.h"
+#include "src/trace/trace.h"
 
 namespace cubessd::ftl {
 
@@ -57,6 +59,42 @@ const BlockManager &
 FtlBase::blockManager(std::uint32_t chip) const
 {
     return blockMgrs_.at(chip);
+}
+
+void
+FtlBase::setTrace(trace::TraceSession *session, std::uint32_t track,
+                  std::vector<std::uint32_t> gcTracks)
+{
+    trace_ = session;
+    traceTrack_ = track;
+    gcEngine_->setTrace(session, std::move(gcTracks), &queue_);
+}
+
+void
+FtlBase::registerCounters(trace::CounterRegistry &reg)
+{
+    reg.add("buffer_occupancy", "pages", [this](SimTime) {
+        return static_cast<double>(buffer_.size());
+    });
+    reg.add("free_blocks", "blocks", [this](SimTime) {
+        double n = 0.0;
+        for (const auto &mgr : blockMgrs_)
+            n += static_cast<double>(mgr.freeCount());
+        return n;
+    });
+    reg.add("gc_pages_moved", "pages", [this](SimTime) {
+        return static_cast<double>(gcEngine_->stats().relocatedPages);
+    });
+    reg.add("write_stalls", "stalls", [this](SimTime) {
+        return static_cast<double>(stats_.writeStalls);
+    });
+    reg.add("vfy_skipped", "verifies", [this](SimTime) {
+        double n = 0.0;
+        for (std::uint32_t c = 0; c < chipCount(); ++c)
+            n += static_cast<double>(
+                chipModel(c).stats().verifiesSkipped);
+        return n;
+    });
 }
 
 std::uint32_t
@@ -219,6 +257,12 @@ FtlBase::processWrite(const std::shared_ptr<StalledWrite> &write)
             // Buffer full: park the request; a flush completion will
             // resume it. The unissued version number is harmless.
             ++stats_.writeStalls;
+            if (trace_ != nullptr)
+                trace_->instant(
+                    traceTrack_, "write_stall", queue_.now(),
+                    {{"lba", static_cast<std::int64_t>(lba)},
+                     {"stalled_requests",
+                      static_cast<std::int64_t>(stalled_.size() + 1)}});
             stalled_.push_back(write);
             return;
         }
@@ -370,6 +414,9 @@ FtlBase::dispatchFlush(std::uint32_t chip, std::vector<FlushEntry> batch,
     if (!forGc && config_.chip.faults.enabled &&
         blockMgrs_[chip].freeCount() == 0) {
         ++stats_.flushDeferrals;
+        if (trace_ != nullptr)
+            trace_->instant(traceTrack_, "flush_deferred",
+                            queue_.now(), {{"chip", chip}});
         deferredFlushes_[chip].push_back(std::move(batch));
         return;
     }
@@ -397,6 +444,8 @@ FtlBase::dispatchFlush(std::uint32_t chip, std::vector<FlushEntry> batch,
     op.wl = choice.wl;
     op.cmd = choice.cmd;
     op.tokens = std::move(tokens);
+    op.tagLeader = choice.isLeader;
+    op.tagGc = forGc;
     op.done = [this, chip, choice, forGc,
                batch = std::move(batch)](const ssd::NandOpResult &r) {
         handleProgramComplete(chip, choice, batch, forGc, r);
@@ -428,6 +477,10 @@ FtlBase::handleProgramComplete(std::uint32_t chip, ProgramChoice choice,
                 retireBlock(chip, choice.wl.block);
         }
         ++stats_.flushReplays;
+        if (trace_ != nullptr)
+            trace_->instant(traceTrack_, "flush_replay", queue_.now(),
+                            {{"chip", chip},
+                             {"block", choice.wl.block}});
         dispatchFlush(chip, std::move(batch), forGc);
         gcEngine_->maybeStart(chip);
         return;
@@ -453,6 +506,12 @@ FtlBase::handleProgramComplete(std::uint32_t chip, ProgramChoice choice,
     if (!choice.monitor &&
         safetyCheck(chip, choice, result.program)) {
         ++stats_.safetyReprograms;
+        if (trace_ != nullptr)
+            trace_->instant(traceTrack_, "safety_reprogram",
+                            queue_.now(),
+                            {{"chip", chip},
+                             {"block", choice.wl.block},
+                             {"layer", choice.wl.layer}});
         dispatchFlush(chip, std::move(batch), forGc);
         gcEngine_->maybeStart(chip);
         return;
@@ -526,6 +585,9 @@ FtlBase::retireBlock(std::uint32_t chip, std::uint32_t block)
     auto &mgr = blockMgrs_[chip];
     mgr.retire(block);
     ++stats_.retiredBlocks;
+    if (trace_ != nullptr)
+        trace_->instant(traceTrack_, "block_retired", queue_.now(),
+                        {{"chip", chip}, {"block", block}});
     onBlockRetired(chip, block);
 
     // Relocate the pages that were already durable in the retired
@@ -577,8 +639,14 @@ FtlBase::checkReadOnly(std::uint32_t chip)
     // allocator runs dry so in-flight flushes and relocations still
     // have room to complete.
     const std::uint64_t retired = blockMgrs_[chip].retiredCount();
-    if (sparePerChip_ < retired + config_.gcHighWatermark + 3)
+    if (sparePerChip_ < retired + config_.gcHighWatermark + 3) {
         readOnly_ = true;
+        if (trace_ != nullptr)
+            trace_->instant(traceTrack_, "read_only", queue_.now(),
+                            {{"chip", chip},
+                             {"retired",
+                              static_cast<std::int64_t>(retired)}});
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -41,6 +41,11 @@
 #include "src/ssd/request.h"
 #include "src/ssd/write_buffer.h"
 
+namespace cubessd::trace {
+class TraceSession;
+class CounterRegistry;
+}
+
 namespace cubessd::ftl {
 
 /** A WL program decision made by the policy layer. */
@@ -99,6 +104,23 @@ class FtlBase : private GcHost
      * chip state); panics on violation. Test/debug aid.
      */
     void checkConsistency() const;
+
+    /**
+     * Record FTL-level instant events (write stalls, block
+     * retirements, flush deferrals/replays, read-only transition) on
+     * `track`, and GC episodes on the per-chip `gcTracks`
+     * (observation only; null session disables).
+     */
+    void setTrace(trace::TraceSession *session, std::uint32_t track,
+                  std::vector<std::uint32_t> gcTracks);
+
+    /**
+     * Register the FTL's sampled gauges (buffer occupancy, free
+     * blocks, GC pages moved, write stalls, VFY skips). Subclasses
+     * extend with policy-specific series (e.g. cubeFTL's ORT hit
+     * rate).
+     */
+    virtual void registerCounters(trace::CounterRegistry &reg);
 
   protected:
     /**
@@ -288,6 +310,8 @@ class FtlBase : private GcHost
     bool drainMode_ = false;
     std::uint64_t sparePerChip_ = 0;  ///< initial spare blocks per chip
     bool readOnly_ = false;
+    trace::TraceSession *trace_ = nullptr;
+    std::uint32_t traceTrack_ = 0;
 
     FtlStats stats_;
 };

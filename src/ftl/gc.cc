@@ -1,8 +1,10 @@
 #include "src/ftl/gc.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/common/logging.h"
+#include "src/trace/trace.h"
 
 namespace cubessd::ftl {
 
@@ -44,6 +46,33 @@ GcEngine::encodePpa(std::uint32_t chip, const nand::PageAddr &addr) const
 }
 
 void
+GcEngine::setTrace(trace::TraceSession *session,
+                   std::vector<std::uint32_t> tracks,
+                   const sim::EventQueue *clock)
+{
+    if (session != nullptr &&
+        (tracks.size() != chips_.size() || clock == nullptr))
+        fatal("GcEngine::setTrace: need one track per chip and a clock");
+    trace_ = session;
+    tracks_ = std::move(tracks);
+    clock_ = clock;
+}
+
+void
+GcEngine::traceCollectionBegin(std::uint32_t chip)
+{
+    if (trace_ == nullptr)
+        return;
+    const auto &gc = gc_[chip];
+    trace_->begin(
+        tracks_[chip], "gc", clock_->now(),
+        {{"victim", gc.victim},
+         {"valid_pages", blockMgrs_[chip].info(gc.victim).validCount},
+         {"free_blocks",
+          static_cast<std::int64_t>(blockMgrs_[chip].freeCount())}});
+}
+
+void
 GcEngine::maybeStart(std::uint32_t chip)
 {
     auto &gc = gc_.at(chip);
@@ -59,6 +88,7 @@ GcEngine::maybeStart(std::uint32_t chip)
     gc.victim = *victim;
     ++stats_.collections;
     ++mirror_.gcCollections;
+    traceCollectionBegin(chip);
     continueOn(chip);
 }
 
@@ -194,6 +224,9 @@ GcEngine::eraseVictim(std::uint32_t chip)
             blockMgrs_[chip].retire(victim);
             ++mirror_.eraseFailures;
             ++mirror_.retiredBlocks;
+            if (trace_ != nullptr)
+                trace_->instant(tracks_[chip], "gc_erase_fail",
+                                clock_->now(), {{"block", victim}});
             host_.gcBlockRetired(chip, victim);
         } else {
             blockMgrs_[chip].release(victim);
@@ -201,6 +234,8 @@ GcEngine::eraseVictim(std::uint32_t chip)
         }
         gc.active = false;
         gc.erasing = false;
+        if (trace_ != nullptr)
+            trace_->end(tracks_[chip], clock_->now());
         // Hysteresis: keep collecting until the high watermark.
         if (blockMgrs_[chip].freeCount() < config_.gcHighWatermark) {
             const auto next = policy_->pickVictim(blockMgrs_[chip]);
@@ -210,6 +245,7 @@ GcEngine::eraseVictim(std::uint32_t chip)
                 gc.victim = *next;
                 ++stats_.collections;
                 ++mirror_.gcCollections;
+                traceCollectionBegin(chip);
                 continueOn(chip);
             }
         }

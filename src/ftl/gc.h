@@ -32,6 +32,10 @@
 #include "src/ssd/chip_unit.h"
 #include "src/ssd/config.h"
 
+namespace cubessd::trace {
+class TraceSession;
+}
+
 namespace cubessd::ftl {
 
 /** One page travelling from the write buffer or a GC scan to NAND. */
@@ -170,6 +174,16 @@ class GcEngine
     const GcStats &stats() const { return stats_; }
     const GcPolicy &policy() const { return *policy_; }
 
+    /**
+     * Record each collection as a begin/end span on the chip's GC
+     * track (one entry per chip in `tracks`), timestamped off `clock`
+     * (observation only). At most one collection runs per chip, so
+     * per-track nesting is trivially respected.
+     */
+    void setTrace(trace::TraceSession *session,
+                  std::vector<std::uint32_t> tracks,
+                  const sim::EventQueue *clock);
+
   private:
     /** Per-chip GC progress. */
     struct ChipState
@@ -185,6 +199,7 @@ class GcEngine
     };
 
     void continueOn(std::uint32_t chip);
+    void traceCollectionBegin(std::uint32_t chip);
     void finishScanPage(std::uint32_t chip,
                         std::uint32_t pageInBlockIdx);
     void maybeDispatchProgram(std::uint32_t chip, bool force);
@@ -202,6 +217,9 @@ class GcEngine
     std::vector<ChipState> gc_;
     GcStats stats_;
     FtlStats &mirror_;
+    trace::TraceSession *trace_ = nullptr;
+    std::vector<std::uint32_t> tracks_;
+    const sim::EventQueue *clock_ = nullptr;
 };
 
 }  // namespace cubessd::ftl

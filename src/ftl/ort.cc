@@ -14,6 +14,8 @@ Ort::Ort(std::uint32_t chips, std::uint32_t blocksPerChip,
                                 blocksPerChip * layersPerBlock;
     table_.assign(entries, 0);
     valid_.assign(entries, false);
+    layerHits_.assign(layersPerBlock, 0);
+    layerMisses_.assign(layersPerBlock, 0);
 }
 
 std::size_t
@@ -35,9 +37,11 @@ Ort::lookup(std::uint32_t chip, std::uint32_t block, std::uint32_t layer)
     const std::size_t idx = index(chip, block, layer);
     if (!valid_[idx]) {
         ++misses_;
+        ++layerMisses_[layer];
         return std::nullopt;
     }
     ++hits_;
+    ++layerHits_[layer];
     return table_[idx];
 }
 

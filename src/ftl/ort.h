@@ -73,6 +73,18 @@ class Ort
     std::uint64_t misses() const { return misses_; }
     std::uint64_t updates() const { return updates_; }
 
+    /** @name Per-h-layer hit/miss accounting (report table) @{ */
+    std::uint32_t layersPerBlock() const { return layersPerBlock_; }
+    std::uint64_t layerHits(std::uint32_t layer) const
+    {
+        return layerHits_.at(layer);
+    }
+    std::uint64_t layerMisses(std::uint32_t layer) const
+    {
+        return layerMisses_.at(layer);
+    }
+    /** @} */
+
   private:
     std::size_t index(std::uint32_t chip, std::uint32_t block,
                       std::uint32_t layer) const;
@@ -84,6 +96,8 @@ class Ort
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t updates_ = 0;
+    std::vector<std::uint64_t> layerHits_;
+    std::vector<std::uint64_t> layerMisses_;
 };
 
 }  // namespace cubessd::ftl

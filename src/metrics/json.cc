@@ -123,14 +123,34 @@ JsonWriter::value(const char *v)
 JsonWriter &
 JsonWriter::value(double v)
 {
+    return value(v, 6);
+}
+
+JsonWriter &
+JsonWriter::value(double v, int sigDigits)
+{
     separate();
     if (!std::isfinite(v)) {
         out_ << "null";  // JSON has no NaN/Inf
         return *this;
     }
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    std::snprintf(buf, sizeof(buf), "%.*g", sigDigits, v);
+    // snprintf honors LC_NUMERIC; a non-C locale's ',' decimal
+    // separator would be invalid JSON.
+    for (char *p = buf; *p != '\0'; ++p) {
+        if (*p == ',')
+            *p = '.';
+    }
     out_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    separate();
+    out_ << "null";
     return *this;
 }
 

@@ -43,10 +43,17 @@ class JsonWriter
 
     JsonWriter &value(const std::string &v);
     JsonWriter &value(const char *v);
+    /** Doubles render with 6 significant digits; NaN and +/-Inf have
+     *  no JSON spelling and serialize as `null`. */
     JsonWriter &value(double v);
+    /** Double with explicit precision (e.g. 16 digits so trace
+     *  timestamps survive the decimal round trip). */
+    JsonWriter &value(double v, int sigDigits);
     JsonWriter &value(std::uint64_t v);
     JsonWriter &value(std::int64_t v);
     JsonWriter &value(bool v);
+    /** Explicit JSON null. */
+    JsonWriter &null();
 
     /** key() + value() in one call. */
     template <typename T>

@@ -6,6 +6,7 @@
 
 #include "src/common/logging.h"
 #include "src/ftl/gc.h"
+#include "src/ftl/ort.h"
 
 namespace cubessd::metrics {
 
@@ -87,6 +88,52 @@ gcStatsTable(const ftl::GcStats &stats)
     table.row({"WL programs", std::to_string(stats.programs)});
     table.row({"avg GC program latency (us)",
                format(stats.avgProgramLatencyUs(), 1)});
+    return table;
+}
+
+Table
+ortLayerTable(const ftl::Ort &ort, std::uint32_t groupLayers)
+{
+    const std::uint32_t layers = ort.layersPerBlock();
+    if (groupLayers == 0)
+        groupLayers = layers;
+
+    Table table({"h-layers", "hits", "misses", "hit rate"});
+    for (std::uint32_t base = 0; base < layers; base += groupLayers) {
+        const std::uint32_t last =
+            std::min(base + groupLayers, layers) - 1;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        for (std::uint32_t l = base; l <= last; ++l) {
+            hits += ort.layerHits(l);
+            misses += ort.layerMisses(l);
+        }
+        if (hits + misses == 0)
+            continue;
+        table.row({std::to_string(base) + "-" + std::to_string(last),
+                   std::to_string(hits), std::to_string(misses),
+                   formatPercent(static_cast<double>(hits) /
+                                 static_cast<double>(hits + misses))});
+    }
+    return table;
+}
+
+Table
+vfySavingsTable(std::uint64_t verifiesDone,
+                std::uint64_t verifiesSkipped,
+                std::uint64_t vfyTimeSavedNs)
+{
+    const std::uint64_t planned = verifiesDone + verifiesSkipped;
+    Table table({"VFY metric", "value"});
+    table.row({"verifies done", std::to_string(verifiesDone)});
+    table.row({"verifies skipped", std::to_string(verifiesSkipped)});
+    table.row({"skip rate",
+               planned == 0
+                   ? "n/a"
+                   : formatPercent(static_cast<double>(verifiesSkipped) /
+                                   static_cast<double>(planned))});
+    table.row({"est. program time saved (ms)",
+               format(static_cast<double>(vfyTimeSavedNs) / 1e6, 3)});
     return table;
 }
 

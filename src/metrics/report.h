@@ -16,6 +16,11 @@
 
 namespace cubessd::ftl {
 struct GcStats;
+class Ort;
+}  // namespace cubessd::ftl
+
+namespace cubessd::nand {
+struct NandChipStats;
 }
 
 namespace cubessd::metrics {
@@ -56,6 +61,23 @@ void printCdf(std::ostream &out, const std::string &title,
  * erases, GC-induced program latency) as a metric/value table.
  */
 Table gcStatsTable(const ftl::GcStats &stats);
+
+/**
+ * Per-h-layer ORT hit/miss table, grouping `groupLayers` adjacent
+ * layers per row ("layers 0-7 | hits | misses | hit rate"). Rows with
+ * no lookups are elided. A `groupLayers` of 0 collapses to one row.
+ */
+Table ortLayerTable(const ftl::Ort &ort, std::uint32_t groupLayers = 8);
+
+/**
+ * VFY-skip savings summary across chips: verifies done vs skipped,
+ * skip rate, and estimated program time saved (the Sec. 4.1
+ * tPROG-reduction mechanism). `vfyTimeSavedNs` is the sum of
+ * NandChip::vfyTimeSaved() over the devices being reported.
+ */
+Table vfySavingsTable(std::uint64_t verifiesDone,
+                      std::uint64_t verifiesSkipped,
+                      std::uint64_t vfyTimeSavedNs);
 
 /**
  * Collects paper-reported values next to measured ones and renders

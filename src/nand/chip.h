@@ -165,6 +165,14 @@ class NandChip
     const NandChipStats &stats() const { return stats_; }
     void resetStats() { stats_ = NandChipStats{}; }
 
+    /** Program time saved by VFY skipping so far (skipped pulses times
+     *  the per-verify cost; the Sec. 4.1 tPROG-reduction story). */
+    SimTime vfyTimeSaved() const
+    {
+        return static_cast<SimTime>(stats_.verifiesSkipped) *
+               config_.ispp.tVfy;
+    }
+
   private:
     struct WlState
     {

@@ -24,6 +24,19 @@ EventQueue::scheduleAt(SimTime when, EventAction action)
     heap_.push(Entry{when, nextSeq_++, std::move(action)});
 }
 
+void
+EventQueue::setSampler(SimTime interval, SamplerFn fn)
+{
+    if (interval == 0 || !fn) {
+        sampler_ = nullptr;
+        samplerInterval_ = 0;
+        return;
+    }
+    sampler_ = std::move(fn);
+    samplerInterval_ = interval;
+    nextSample_ = now_ + interval;
+}
+
 bool
 EventQueue::step()
 {
@@ -33,6 +46,15 @@ EventQueue::step()
     // safe because we pop immediately and never re-inspect the entry.
     Entry entry = std::move(const_cast<Entry &>(heap_.top()));
     heap_.pop();
+    if (sampler_) {
+        // Catch up on all sampling boundaries up to (and including)
+        // this event's time, sampling *before* the event fires.
+        while (nextSample_ <= entry.when) {
+            now_ = nextSample_;
+            sampler_(now_);
+            nextSample_ += samplerInterval_;
+        }
+    }
     now_ = entry.when;
     entry.action();
     return true;

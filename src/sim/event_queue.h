@@ -23,6 +23,9 @@ namespace cubessd::sim {
 /** Callback type invoked when an event fires. */
 using EventAction = std::function<void()>;
 
+/** Callback type invoked at each sampling boundary (see setSampler). */
+using SamplerFn = std::function<void(SimTime)>;
+
 /**
  * A time-ordered queue of callbacks with a simulated clock.
  *
@@ -70,6 +73,20 @@ class EventQueue
      */
     std::uint64_t runUntil(SimTime deadline);
 
+    /**
+     * Install a periodic sampling hook: before each event fires, `fn`
+     * is called once per elapsed `interval` boundary (clock set to the
+     * boundary time), so counters are observed on a fixed simulated
+     * cadence without keeping the queue alive with self-rescheduling
+     * events — run() still terminates when real work runs out, and
+     * sampling never fires past the last event. The hook must be
+     * observation-only: it may not schedule events or mutate model
+     * state, or runs would no longer be reproducible without it.
+     * Boundaries coinciding with an event sample *before* the event.
+     * An interval of 0 or an empty fn disables sampling.
+     */
+    void setSampler(SimTime interval, SamplerFn fn);
+
   private:
     struct Entry
     {
@@ -92,6 +109,9 @@ class EventQueue
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
     SimTime now_ = 0;
     std::uint64_t nextSeq_ = 0;
+    SamplerFn sampler_;
+    SimTime samplerInterval_ = 0;
+    SimTime nextSample_ = 0;
 };
 
 }  // namespace cubessd::sim

@@ -2,14 +2,19 @@
 
 #include <algorithm>
 
+#include "src/trace/trace.h"
+
 namespace cubessd::ssd {
 
 SimTime
-Channel::reserve(SimTime earliest, SimTime duration)
+Channel::reserve(SimTime earliest, SimTime duration,
+                 const char *traceName)
 {
     const SimTime start = std::max(earliest, freeAt_);
     freeAt_ = start + duration;
     busyTime_ += duration;
+    if (trace_ != nullptr && traceName != nullptr)
+        trace_->complete(track_, traceName, start, duration);
     return start;
 }
 

@@ -12,7 +12,13 @@
 #ifndef CUBESSD_SSD_CHANNEL_H
 #define CUBESSD_SSD_CHANNEL_H
 
+#include <cstdint>
+
 #include "src/common/types.h"
+
+namespace cubessd::trace {
+class TraceSession;
+}
 
 namespace cubessd::ssd {
 
@@ -21,9 +27,21 @@ class Channel
   public:
     /**
      * Reserve the bus.
+     * @param traceName  span label for the transfer on the channel's
+     *                   occupancy track (string literal); nullptr
+     *                   suppresses the span.
      * @return the granted start time (>= earliest).
      */
-    SimTime reserve(SimTime earliest, SimTime duration);
+    SimTime reserve(SimTime earliest, SimTime duration,
+                    const char *traceName = nullptr);
+
+    /** Record bus transfers as spans on `track` (observation only). */
+    void
+    setTrace(trace::TraceSession *session, std::uint32_t track)
+    {
+        trace_ = session;
+        track_ = track;
+    }
 
     /** Time at which the bus next becomes free. */
     SimTime freeAt() const { return freeAt_; }
@@ -34,6 +52,8 @@ class Channel
   private:
     SimTime freeAt_ = 0;
     SimTime busyTime_ = 0;
+    trace::TraceSession *trace_ = nullptr;
+    std::uint32_t track_ = 0;
 };
 
 }  // namespace cubessd::ssd

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/trace/trace.h"
 
 namespace cubessd::ssd {
 
@@ -49,7 +50,7 @@ ChipUnit::execute(NandOp op)
             chip_.readPage(op.page, op.readShiftMv, op.readSoftHint);
         const SimTime senseEnd = now + result.read.tRead;
         const SimTime tx = timing.busTransferTime(geom.pageSizeBytes);
-        const SimTime txStart = channel_.reserve(senseEnd, tx);
+        const SimTime txStart = channel_.reserve(senseEnd, tx, "xfer_out");
         result.busTime = tx;
         result.dieTime = result.read.tRead;
         result.end = txStart + tx;
@@ -59,7 +60,7 @@ ChipUnit::execute(NandOp op)
         const SimTime tx = timing.busTransferTime(
             static_cast<std::uint64_t>(geom.pageSizeBytes) *
             op.tokens.size());
-        const SimTime txStart = channel_.reserve(now, tx);
+        const SimTime txStart = channel_.reserve(now, tx, "xfer_in");
         result.program = chip_.programWl(op.wl, op.cmd, op.tokens);
         result.busTime = tx;
         result.dieTime = result.program.tProg;
@@ -73,6 +74,9 @@ ChipUnit::execute(NandOp op)
       }
     }
 
+    if (trace_ != nullptr)
+        recordOp(op, result);
+
     queue_.scheduleAt(result.end,
                       [this, result, done = std::move(op.done)]() {
                           busy_ = false;
@@ -82,6 +86,52 @@ ChipUnit::execute(NandOp op)
                               done(result);
                           tryStart();
                       });
+}
+
+/**
+ * Emit the die-occupancy span of one operation, annotated with the
+ * paper's PS mechanisms: the h-layer, the leader/follower role, how
+ * many verify pulses the follower skipped, and how far below MaxLoop
+ * the ISPP terminated (vfy_skipped / loops_saved are where the
+ * follower tPROG cut shows up on the timeline), plus the retry count
+ * that the ORT eliminates on reads.
+ */
+void
+ChipUnit::recordOp(const NandOp &op, const NandOpResult &result)
+{
+    const SimTime dur = result.end - result.start;
+    switch (op.kind) {
+      case NandOp::Kind::Read:
+        // GC scan reads enqueue at normal priority; host reads jump
+        // the queue — use that to label the span's origin.
+        trace_->complete(
+            track_, op.highPriority ? "read" : "gc_scan_read",
+            result.start, dur,
+            {{"block", op.page.block},
+             {"layer", op.page.layer},
+             {"retries", result.read.numRetries},
+             {"retry_ns", static_cast<std::int64_t>(result.read.tRetry)},
+             {"uncorrectable", result.read.uncorrectable ? 1 : 0}});
+        break;
+      case NandOp::Kind::Program: {
+        const int maxLoops = chip_.ispp().config().maxLoops();
+        trace_->complete(
+            track_, op.tagGc ? "gc_program" : "program",
+            result.start, dur,
+            {{"block", op.wl.block},
+             {"layer", op.wl.layer},
+             {"leader", op.tagLeader ? 1 : 0},
+             {"vfy_skipped", result.program.verifiesSkipped},
+             {"loops_saved", maxLoops - result.program.loopsUsed},
+             {"failed", result.program.failed ? 1 : 0}});
+        break;
+      }
+      case NandOp::Kind::Erase:
+        trace_->complete(track_, "erase", result.start, dur,
+                         {{"block", op.block},
+                          {"failed", result.eraseFailed ? 1 : 0}});
+        break;
+    }
 }
 
 }  // namespace cubessd::ssd

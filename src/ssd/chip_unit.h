@@ -59,6 +59,10 @@ struct NandOp
     std::vector<std::uint64_t> tokens;  ///< Program payload
     NandOpCallback done;
     bool highPriority = false;  ///< queue ahead of normal ops (reads)
+    /** @name Trace annotations (observation only, set by the FTL) @{ */
+    bool tagLeader = false;  ///< program counts as a leader WL
+    bool tagGc = false;      ///< program relocates GC data
+    /** @} */
 };
 
 class ChipUnit
@@ -84,9 +88,18 @@ class ChipUnit
     nand::NandChip &chip() { return chip_; }
     const nand::NandChip &chip() const { return chip_; }
 
+    /** Record die-op occupancy spans on `track` (observation only). */
+    void
+    setTrace(trace::TraceSession *session, std::uint32_t track)
+    {
+        trace_ = session;
+        track_ = track;
+    }
+
   private:
     void tryStart();
     void execute(NandOp op);
+    void recordOp(const NandOp &op, const NandOpResult &result);
 
     nand::NandChip &chip_;
     Channel &channel_;
@@ -95,6 +108,8 @@ class ChipUnit
     bool busy_ = false;
     SimTime busyTime_ = 0;
     std::uint64_t opsCompleted_ = 0;
+    trace::TraceSession *trace_ = nullptr;
+    std::uint32_t track_ = 0;
 };
 
 }  // namespace cubessd::ssd

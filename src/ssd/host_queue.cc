@@ -3,8 +3,19 @@
 #include <algorithm>
 
 #include "src/ftl/ftl_base.h"
+#include "src/trace/trace.h"
 
 namespace cubessd::ssd {
+
+namespace {
+
+const char *
+requestSpanName(IoType type)
+{
+    return type == IoType::Read ? "read" : "write";
+}
+
+}  // namespace
 
 HostQueue::HostQueue(sim::EventQueue &queue, ftl::FtlBase &ftl,
                      std::uint32_t depth)
@@ -29,6 +40,17 @@ HostQueue::submit(HostRequest req, CompletionFn done)
 void
 HostQueue::admit(const HostRequest &req, const CompletionFn &done)
 {
+    if (trace_ != nullptr) {
+        // One async group per request id, nested begin/end: the outer
+        // span is the whole request, queue_wait and device partition
+        // its lifetime.
+        trace_->asyncBegin(
+            "request", requestSpanName(req.type), req.id, queue_.now(),
+            {{"lba", static_cast<std::int64_t>(req.lba)},
+             {"pages", req.pages}});
+        trace_->asyncBegin("request", "queue_wait", req.id,
+                           queue_.now());
+    }
     if (depth_ != 0 && inFlight_ >= depth_) {
         ++stats_.blockedSubmissions;
         waiting_.emplace_back(req, done);
@@ -45,14 +67,24 @@ HostQueue::start(const HostRequest &req, const CompletionFn &done)
     ++inFlight_;
     const SimTime started = queue_.now();
     stats_.queueWaitSum += started - req.arrival;
+    if (trace_ != nullptr) {
+        trace_->asyncEnd("request", "queue_wait", req.id, started);
+        trace_->asyncBegin("request", "device", req.id, started);
+    }
 
-    auto wrapped = [this, done, started](const Completion &c) {
+    auto wrapped = [this, done, started,
+                    type = req.type](const Completion &c) {
         Completion out = c;
         out.start = started;
         out.phases.queueWait = out.start - out.arrival;
         --inFlight_;
         ++stats_.completed;
         stats_.latencySum += out.latency();
+        if (trace_ != nullptr) {
+            trace_->asyncEnd("request", "device", out.id, queue_.now());
+            trace_->asyncEnd("request", requestSpanName(type), out.id,
+                             queue_.now());
+        }
         // Hand the freed slot to the oldest waiter before the host
         // sees the completion, so backpressure release is FIFO.
         drainWaiting();

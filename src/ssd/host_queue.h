@@ -29,6 +29,9 @@
 namespace cubessd::ftl {
 class FtlBase;
 }
+namespace cubessd::trace {
+class TraceSession;
+}
 
 namespace cubessd::ssd {
 
@@ -87,6 +90,10 @@ class HostQueue
     std::size_t waiting() const { return waiting_.size(); }
     const HostQueueStats &stats() const { return stats_; }
 
+    /** Record per-request async spans (cat "request", id = request
+     *  id): request > queue_wait > device (observation only). */
+    void setTrace(trace::TraceSession *session) { trace_ = session; }
+
   private:
     void admit(const HostRequest &req, const CompletionFn &done);
     void start(const HostRequest &req, const CompletionFn &done);
@@ -99,6 +106,7 @@ class HostQueue
     std::uint64_t nextId_ = 1;
     std::deque<std::pair<HostRequest, CompletionFn>> waiting_;
     HostQueueStats stats_;
+    trace::TraceSession *trace_ = nullptr;
 };
 
 }  // namespace cubessd::ssd

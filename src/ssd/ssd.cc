@@ -1,11 +1,14 @@
 #include "src/ssd/ssd.h"
 
+#include <string>
 #include <utility>
 
 #include "src/common/logging.h"
 #include "src/ftl/cube_ftl.h"
 #include "src/ftl/page_ftl.h"
 #include "src/ftl/vert_ftl.h"
+#include "src/trace/counters.h"
+#include "src/trace/trace.h"
 
 namespace cubessd::ssd {
 
@@ -171,6 +174,62 @@ std::optional<std::uint64_t>
 Ssd::peek(Lba lba) const
 {
     return ftl_->peek(lba);
+}
+
+void
+Ssd::attachTrace(trace::TraceSession *session)
+{
+    hostQueue_->setTrace(session);
+    if (session == nullptr) {
+        ftl_->setTrace(nullptr, 0, {});
+        for (auto &ch : channels_)
+            ch.setTrace(nullptr, 0);
+        for (auto &unit : units_)
+            unit.setTrace(nullptr, 0);
+        return;
+    }
+
+    // Track order fixes the Perfetto row order: FTL events on top,
+    // then GC episodes, bus occupancy, and the individual dies.
+    const std::uint32_t ftlTrack = session->addTrack("ftl");
+    std::vector<std::uint32_t> gcTracks;
+    gcTracks.reserve(chips_.size());
+    for (std::uint32_t i = 0; i < chips_.size(); ++i)
+        gcTracks.push_back(
+            session->addTrack("gc/chip" + std::to_string(i)));
+    ftl_->setTrace(session, ftlTrack, std::move(gcTracks));
+
+    for (std::uint32_t i = 0; i < channels_.size(); ++i)
+        channels_[i].setTrace(
+            session, session->addTrack("bus/ch" + std::to_string(i)));
+    for (std::uint32_t i = 0; i < units_.size(); ++i)
+        units_[i].setTrace(session,
+                           session->addTrack("die/" + std::to_string(i)));
+}
+
+void
+Ssd::registerCounters(trace::CounterRegistry &reg)
+{
+    // Completion rate over the sampling window: the probe keeps the
+    // previous sample point and differentiates the cumulative count.
+    reg.add("iops", "req/s",
+            [this, prev = std::pair<SimTime, std::uint64_t>{0, 0}](
+                SimTime now) mutable {
+                const std::uint64_t completed =
+                    hostQueue_->stats().completed;
+                const SimTime dt = now - prev.first;
+                const std::uint64_t delta = completed - prev.second;
+                prev = {now, completed};
+                return dt == 0
+                    ? 0.0
+                    : static_cast<double>(delta) * 1e9 /
+                          static_cast<double>(dt);
+            });
+    reg.add("queue_depth", "requests", [this](SimTime) {
+        return static_cast<double>(hostQueue_->inFlight() +
+                                   hostQueue_->waiting());
+    });
+    ftl_->registerCounters(reg);
 }
 
 }  // namespace cubessd::ssd

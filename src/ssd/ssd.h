@@ -37,6 +37,11 @@ namespace cubessd::ftl {
 class FtlBase;
 }
 
+namespace cubessd::trace {
+class CounterRegistry;
+class TraceSession;
+}  // namespace cubessd::trace
+
 namespace cubessd::ssd {
 
 class Ssd
@@ -95,6 +100,20 @@ class Ssd
 
     /** Data token of a logical page, bypassing timing (tests). */
     std::optional<std::uint64_t> peek(Lba lba) const;
+
+    /**
+     * Wire a trace session through the whole pipeline: per-request
+     * async spans on the host queue, an "ftl" track for FTL instants,
+     * one "gc/chipN" track per chip for GC episodes, one "bus/chN"
+     * track per channel for bus transfers, and one "die/N" track per
+     * chip for NAND operations. Pass nullptr to detach. Tracing is
+     * observation-only: runs are bit-identical with it on or off.
+     */
+    void attachTrace(trace::TraceSession *session);
+
+    /** Register the device-level sampled counters (IOPS, queue depth)
+     *  plus the FTL's gauges. */
+    void registerCounters(trace::CounterRegistry &reg);
 
   private:
     SsdConfig config_;

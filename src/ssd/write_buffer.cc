@@ -24,6 +24,8 @@ WriteBuffer::insert(Lba lba, std::uint64_t token, std::uint64_t version)
         return false;
     fifo_.push_back(BufferEntry{lba, token, version});
     index_.emplace(lba, std::prev(fifo_.end()));
+    if (fifo_.size() > peak_)
+        peak_ = fifo_.size();
     return true;
 }
 

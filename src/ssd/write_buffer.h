@@ -41,6 +41,8 @@ class WriteBuffer
     std::size_t size() const { return fifo_.size(); }
     bool empty() const { return fifo_.empty(); }
     bool full() const { return fifo_.size() >= capacity_; }
+    /** High-water mark of buffered pages over the buffer's lifetime. */
+    std::size_t peakSize() const { return peak_; }
 
     /** Buffer occupancy fraction mu in [0, 1]. */
     double
@@ -65,6 +67,7 @@ class WriteBuffer
 
   private:
     std::uint32_t capacity_;
+    std::size_t peak_ = 0;
     std::list<BufferEntry> fifo_;  ///< oldest at front
     std::unordered_map<Lba, std::list<BufferEntry>::iterator> index_;
 };

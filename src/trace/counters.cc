@@ -1,0 +1,64 @@
+#include "src/trace/counters.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/metrics/json.h"
+#include "src/sim/event_queue.h"
+#include "src/trace/trace.h"
+
+namespace cubessd::trace {
+
+void
+CounterRegistry::add(std::string name, std::string unit, SampleFn fn)
+{
+    if (!fn)
+        fatal("CounterRegistry: counter '%s' has no probe",
+              name.c_str());
+    counters_.push_back(
+        Counter{std::move(name), std::move(unit), std::move(fn), {}});
+}
+
+void
+CounterRegistry::sample(SimTime now)
+{
+    ++samplesTaken_;
+    for (auto &c : counters_) {
+        const double v = c.fn(now);
+        c.series.push_back(Sample{now, v});
+        if (session_ != nullptr)
+            session_->counter(c.name.c_str(), now, v);
+    }
+}
+
+void
+CounterRegistry::installSampler(sim::EventQueue &queue,
+                                SimTime intervalNs)
+{
+    queue.setSampler(intervalNs,
+                     [this](SimTime now) { sample(now); });
+}
+
+void
+CounterRegistry::writeTimeseries(metrics::JsonWriter &w) const
+{
+    w.beginArray();
+    for (const auto &c : counters_) {
+        w.beginObject();
+        w.field("name", c.name);
+        w.field("unit", c.unit);
+        w.key("samples");
+        w.beginArray();
+        for (const auto &s : c.series) {
+            w.beginArray();
+            w.value(static_cast<double>(s.ts) / 1000.0, 16);
+            w.value(s.value, 16);
+            w.endArray();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+}
+
+}  // namespace cubessd::trace

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Sampled counter time-series.
+ *
+ * CounterRegistry holds named gauges (std::function probes over live
+ * simulator state) and snapshots all of them at once on a fixed
+ * simulated-time cadence, driven by the EventQueue's sampler hook
+ * (installSampler). Each sample is kept as an in-memory series for the
+ * `timeseries` block of the JSON metrics export, and — when a
+ * TraceSession is attached — doubles as a Perfetto counter event so
+ * the series render as graphs above the span tracks.
+ *
+ * Probes are observation-only: they must not schedule events or
+ * mutate simulator state, so sampling never perturbs a run. Probes
+ * may keep private state of their own (e.g. the previous sample for a
+ * rate counter like IOPS) — the lambda is stored mutable-capable.
+ */
+
+#ifndef CUBESSD_TRACE_COUNTERS_H
+#define CUBESSD_TRACE_COUNTERS_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace cubessd::sim {
+class EventQueue;
+}
+namespace cubessd::metrics {
+class JsonWriter;
+}
+
+namespace cubessd::trace {
+
+class TraceSession;
+
+class CounterRegistry
+{
+  public:
+    /** Gauge probe: current value at simulated time `now`. */
+    using SampleFn = std::function<double(SimTime)>;
+
+    struct Sample
+    {
+        SimTime ts;
+        double value;
+    };
+
+    /** Register a gauge. `unit` is documentation ("pages", "req/s"). */
+    void add(std::string name, std::string unit, SampleFn fn);
+
+    std::size_t size() const { return counters_.size(); }
+    const std::string &name(std::size_t i) const
+    {
+        return counters_.at(i).name;
+    }
+    const std::string &unit(std::size_t i) const
+    {
+        return counters_.at(i).unit;
+    }
+    const std::vector<Sample> &series(std::size_t i) const
+    {
+        return counters_.at(i).series;
+    }
+    std::uint64_t samplesTaken() const { return samplesTaken_; }
+
+    /** Also emit every sample as a Perfetto counter event. */
+    void attachTrace(TraceSession *session) { session_ = session; }
+
+    /** Snapshot all gauges at `now`. */
+    void sample(SimTime now);
+
+    /** Sample every `intervalNs` of simulated time while `queue` runs
+     *  (fires between events at the cadence boundaries; see
+     *  EventQueue::setSampler). */
+    void installSampler(sim::EventQueue &queue, SimTime intervalNs);
+
+    /**
+     * Emit all series as a JSON array:
+     *   [{"name": ..., "unit": ..., "samples": [[ts_us, value], ...]}]
+     * The writer must be positioned where an array value is legal.
+     */
+    void writeTimeseries(metrics::JsonWriter &w) const;
+
+  private:
+    struct Counter
+    {
+        std::string name;
+        std::string unit;
+        SampleFn fn;
+        std::vector<Sample> series;
+    };
+
+    /** deque: counter trace events reference name.c_str(), so element
+     *  addresses must survive later add() calls. */
+    std::deque<Counter> counters_;
+    TraceSession *session_ = nullptr;
+    std::uint64_t samplesTaken_ = 0;
+};
+
+}  // namespace cubessd::trace
+
+#endif  // CUBESSD_TRACE_COUNTERS_H

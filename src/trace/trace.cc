@@ -1,0 +1,282 @@
+#include "src/trace/trace.h"
+
+#include <ostream>
+
+#include "src/common/logging.h"
+#include "src/metrics/json.h"
+
+namespace cubessd::trace {
+
+TraceSession::TraceSession(const TraceConfig &config)
+{
+    if (config.capacityEvents == 0)
+        fatal("TraceSession: capacity must be positive");
+    ring_.resize(config.capacityEvents);
+}
+
+std::uint32_t
+TraceSession::addTrack(std::string name)
+{
+    trackNames_.push_back(std::move(name));
+    return static_cast<std::uint32_t>(trackNames_.size() - 1);
+}
+
+void
+TraceSession::fillArgs(Event &e, std::initializer_list<TraceArg> args)
+{
+    for (const auto &a : args) {
+        if (e.argCount >= kMaxArgs)
+            break;
+        e.args[e.argCount++] = a;
+    }
+}
+
+void
+TraceSession::push(const Event &e)
+{
+    ++recorded_;
+    if (size_ == ring_.size()) {
+        // Full: overwrite the oldest event (tail-biased, like a flight
+        // recorder — the most recent window survives).
+        ring_[head_] = e;
+        head_ = (head_ + 1) % ring_.size();
+        ++dropped_;
+        return;
+    }
+    ring_[(head_ + size_) % ring_.size()] = e;
+    ++size_;
+}
+
+const TraceSession::Event &
+TraceSession::event(std::size_t i) const
+{
+    if (i >= size_)
+        fatal("TraceSession: event index %zu out of range (%zu held)",
+              i, size_);
+    return ring_[(head_ + i) % ring_.size()];
+}
+
+void
+TraceSession::begin(std::uint32_t track, const char *name, SimTime ts,
+                    std::initializer_list<TraceArg> args)
+{
+    Event e;
+    e.kind = EventKind::Begin;
+    e.track = track;
+    e.name = name;
+    e.ts = ts;
+    fillArgs(e, args);
+    push(e);
+}
+
+void
+TraceSession::end(std::uint32_t track, SimTime ts)
+{
+    Event e;
+    e.kind = EventKind::End;
+    e.track = track;
+    e.ts = ts;
+    push(e);
+}
+
+void
+TraceSession::complete(std::uint32_t track, const char *name, SimTime ts,
+                       SimTime dur, std::initializer_list<TraceArg> args)
+{
+    Event e;
+    e.kind = EventKind::Complete;
+    e.track = track;
+    e.name = name;
+    e.ts = ts;
+    e.dur = dur;
+    fillArgs(e, args);
+    push(e);
+}
+
+void
+TraceSession::instant(std::uint32_t track, const char *name, SimTime ts,
+                      std::initializer_list<TraceArg> args)
+{
+    Event e;
+    e.kind = EventKind::Instant;
+    e.track = track;
+    e.name = name;
+    e.ts = ts;
+    fillArgs(e, args);
+    push(e);
+}
+
+void
+TraceSession::asyncBegin(const char *cat, const char *name,
+                         std::uint64_t id, SimTime ts,
+                         std::initializer_list<TraceArg> args)
+{
+    Event e;
+    e.kind = EventKind::AsyncBegin;
+    e.cat = cat;
+    e.name = name;
+    e.id = id;
+    e.ts = ts;
+    fillArgs(e, args);
+    push(e);
+}
+
+void
+TraceSession::asyncEnd(const char *cat, const char *name,
+                       std::uint64_t id, SimTime ts)
+{
+    Event e;
+    e.kind = EventKind::AsyncEnd;
+    e.cat = cat;
+    e.name = name;
+    e.id = id;
+    e.ts = ts;
+    push(e);
+}
+
+void
+TraceSession::counter(const char *name, SimTime ts, double value)
+{
+    Event e;
+    e.kind = EventKind::Counter;
+    e.name = name;
+    e.ts = ts;
+    e.number = value;
+    push(e);
+}
+
+namespace {
+
+/** SimTime (ns) -> trace-event microseconds. */
+double
+toTraceUs(SimTime ns)
+{
+    return static_cast<double>(ns) / 1000.0;
+}
+
+/** Digits needed so every distinct nanosecond survives the round trip
+ *  through a decimal "ts" (sim times fit ~16 significant digits). */
+constexpr int kTsDigits = 16;
+
+void
+writeArgs(metrics::JsonWriter &w, const TraceSession::Event &e)
+{
+    w.key("args");
+    w.beginObject();
+    for (std::uint8_t i = 0; i < e.argCount; ++i)
+        w.field(e.args[i].key, e.args[i].value);
+    w.endObject();
+}
+
+}  // namespace
+
+void
+TraceSession::writeJson(std::ostream &out) const
+{
+    metrics::JsonWriter w(out);
+    w.beginObject();
+    w.field("displayTimeUnit", "ns");
+    w.key("otherData");
+    w.beginObject();
+    w.field("tool", "cubessd");
+    w.field("recorded_events", recorded_);
+    w.field("dropped_events", dropped_);
+    w.endObject();
+
+    w.key("traceEvents");
+    w.beginArray();
+
+    // Metadata: one process, one named thread row per track.
+    w.beginObject();
+    w.field("ph", "M");
+    w.field("pid", std::uint64_t{0});
+    w.field("tid", std::uint64_t{0});
+    w.field("name", "process_name");
+    w.key("args");
+    w.beginObject();
+    w.field("name", "cubessd");
+    w.endObject();
+    w.endObject();
+    for (std::uint32_t t = 0; t < trackNames_.size(); ++t) {
+        w.beginObject();
+        w.field("ph", "M");
+        w.field("pid", std::uint64_t{0});
+        w.field("tid", static_cast<std::uint64_t>(t));
+        w.field("name", "thread_name");
+        w.key("args");
+        w.beginObject();
+        w.field("name", trackNames_[t]);
+        w.endObject();
+        w.endObject();
+        w.beginObject();
+        w.field("ph", "M");
+        w.field("pid", std::uint64_t{0});
+        w.field("tid", static_cast<std::uint64_t>(t));
+        w.field("name", "thread_sort_index");
+        w.key("args");
+        w.beginObject();
+        w.field("sort_index", static_cast<std::uint64_t>(t));
+        w.endObject();
+        w.endObject();
+    }
+
+    for (std::size_t i = 0; i < size_; ++i) {
+        const Event &e = event(i);
+        w.beginObject();
+        switch (e.kind) {
+          case EventKind::Begin:
+            w.field("ph", "B");
+            break;
+          case EventKind::End:
+            w.field("ph", "E");
+            break;
+          case EventKind::Complete:
+            w.field("ph", "X");
+            break;
+          case EventKind::Instant:
+            w.field("ph", "i");
+            w.field("s", "t");  // thread-scoped tick mark
+            break;
+          case EventKind::AsyncBegin:
+            w.field("ph", "b");
+            break;
+          case EventKind::AsyncEnd:
+            w.field("ph", "e");
+            break;
+          case EventKind::Counter:
+            w.field("ph", "C");
+            break;
+        }
+        w.field("pid", std::uint64_t{0});
+        w.field("tid", static_cast<std::uint64_t>(e.track));
+        w.key("ts");
+        w.value(toTraceUs(e.ts), kTsDigits);
+        if (e.kind == EventKind::Complete) {
+            w.key("dur");
+            w.value(toTraceUs(e.dur), kTsDigits);
+        }
+        if (e.name != nullptr)
+            w.field("name", e.name);
+        if (e.kind == EventKind::AsyncBegin ||
+            e.kind == EventKind::AsyncEnd) {
+            w.field("cat", e.cat != nullptr ? e.cat : "async");
+            w.field("id", e.id);
+        }
+        if (e.kind == EventKind::Counter) {
+            w.key("args");
+            w.beginObject();
+            w.key("value");
+            w.value(e.number, kTsDigits);
+            w.endObject();
+        } else if (e.argCount > 0) {
+            writeArgs(w, e);
+        }
+        w.endObject();
+    }
+
+    w.endArray();
+    w.endObject();
+    out << '\n';
+}
+
+}  // namespace cubessd::trace

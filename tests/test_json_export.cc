@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -17,227 +19,13 @@
 
 #include "src/metrics/json.h"
 #include "src/metrics/request_metrics.h"
+#include "tests/json_test_util.h"
 
 namespace cubessd::metrics {
 namespace {
 
-// ------------------------------------------------------------------
-// Minimal strict JSON parser (test-only). Numbers parse as double,
-// objects as maps; throws std::runtime_error on malformed input.
-// ------------------------------------------------------------------
-
-struct JsonValue
-{
-    enum class Kind { Null, Bool, Number, String, Array, Object };
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string text;
-    std::vector<JsonValue> items;
-    std::map<std::string, JsonValue> members;
-
-    const JsonValue &
-    at(const std::string &name) const
-    {
-        auto it = members.find(name);
-        if (it == members.end())
-            throw std::runtime_error("missing key: " + name);
-        return it->second;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(std::string text)
-        : text_(std::move(text))
-    {
-    }
-
-    JsonValue
-    parse()
-    {
-        JsonValue v = parseValue();
-        skipWs();
-        if (pos_ != text_.size())
-            throw std::runtime_error("trailing garbage");
-        return v;
-    }
-
-  private:
-    void
-    skipWs()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-    }
-
-    char
-    peek()
-    {
-        skipWs();
-        if (pos_ >= text_.size())
-            throw std::runtime_error("unexpected end");
-        return text_[pos_];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            throw std::runtime_error(std::string("expected ") + c);
-        ++pos_;
-    }
-
-    JsonValue
-    parseValue()
-    {
-        switch (peek()) {
-          case '{': return parseObject();
-          case '[': return parseArray();
-          case '"': return parseString();
-          case 't': case 'f': return parseBool();
-          case 'n': return parseNull();
-          default:  return parseNumber();
-        }
-    }
-
-    JsonValue
-    parseObject()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::Object;
-        expect('{');
-        if (peek() == '}') {
-            ++pos_;
-            return v;
-        }
-        for (;;) {
-            JsonValue key = parseString();
-            expect(':');
-            if (!v.members.emplace(key.text, parseValue()).second)
-                throw std::runtime_error("duplicate key: " + key.text);
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect('}');
-            return v;
-        }
-    }
-
-    JsonValue
-    parseArray()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::Array;
-        expect('[');
-        if (peek() == ']') {
-            ++pos_;
-            return v;
-        }
-        for (;;) {
-            v.items.push_back(parseValue());
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect(']');
-            return v;
-        }
-    }
-
-    JsonValue
-    parseString()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::String;
-        expect('"');
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-            char c = text_[pos_++];
-            if (c == '\\') {
-                if (pos_ >= text_.size())
-                    throw std::runtime_error("bad escape");
-                const char esc = text_[pos_++];
-                switch (esc) {
-                  case '"':  c = '"'; break;
-                  case '\\': c = '\\'; break;
-                  case '/':  c = '/'; break;
-                  case 'n':  c = '\n'; break;
-                  case 't':  c = '\t'; break;
-                  case 'r':  c = '\r'; break;
-                  case 'u': {
-                    if (pos_ + 4 > text_.size())
-                        throw std::runtime_error("bad \\u escape");
-                    c = static_cast<char>(std::stoi(
-                        text_.substr(pos_, 4), nullptr, 16));
-                    pos_ += 4;
-                    break;
-                  }
-                  default: throw std::runtime_error("bad escape");
-                }
-            }
-            v.text += c;
-        }
-        expect('"');
-        return v;
-    }
-
-    JsonValue
-    parseBool()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::Bool;
-        if (text_.compare(pos_, 4, "true") == 0) {
-            v.boolean = true;
-            pos_ += 4;
-        } else if (text_.compare(pos_, 5, "false") == 0) {
-            v.boolean = false;
-            pos_ += 5;
-        } else {
-            throw std::runtime_error("bad literal");
-        }
-        return v;
-    }
-
-    JsonValue
-    parseNull()
-    {
-        if (text_.compare(pos_, 4, "null") != 0)
-            throw std::runtime_error("bad literal");
-        pos_ += 4;
-        return JsonValue{};
-    }
-
-    JsonValue
-    parseNumber()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::Number;
-        std::size_t end = pos_;
-        while (end < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
-                text_[end] == '-' || text_[end] == '+' ||
-                text_[end] == '.' || text_[end] == 'e' ||
-                text_[end] == 'E'))
-            ++end;
-        if (end == pos_)
-            throw std::runtime_error("bad number");
-        v.number = std::stod(text_.substr(pos_, end - pos_));
-        pos_ = end;
-        return v;
-    }
-
-    std::string text_;
-    std::size_t pos_ = 0;
-};
-
-JsonValue
-parseJson(const std::string &text)
-{
-    return JsonParser(text).parse();
-}
+using testutil::JsonValue;
+using testutil::parseJson;
 
 // ------------------------------------------------------------------
 // JsonWriter basics
@@ -271,6 +59,48 @@ TEST(JsonWriter, NestedStructuresRoundTrip)
     EXPECT_DOUBLE_EQ(root.at("list").items[1].number, 2.5);
     EXPECT_EQ(root.at("list").items[2].text, "three");
     EXPECT_DOUBLE_EQ(root.at("nested").at("deep").number, -7.0);
+}
+
+TEST(JsonWriter, NonFiniteValuesSerializeAsNull)
+{
+    // NaN/Inf have no JSON representation; emitting the printf tokens
+    // ("nan", "inf") would corrupt the document. They must come out
+    // as null — and the strict parser must accept the result.
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.field("not_a_number", std::nan(""));
+    w.field("too_big", std::numeric_limits<double>::infinity());
+    w.field("too_small", -std::numeric_limits<double>::infinity());
+    w.field("fine", 1.5);
+    w.key("explicit_null");
+    w.null();
+    w.endObject();
+
+    const JsonValue root = parseJson(out.str());
+    EXPECT_EQ(root.at("not_a_number").kind, JsonValue::Kind::Null);
+    EXPECT_EQ(root.at("too_big").kind, JsonValue::Kind::Null);
+    EXPECT_EQ(root.at("too_small").kind, JsonValue::Kind::Null);
+    EXPECT_DOUBLE_EQ(root.at("fine").number, 1.5);
+    EXPECT_EQ(root.at("explicit_null").kind, JsonValue::Kind::Null);
+}
+
+TEST(JsonWriter, SigDigitsControlPrecision)
+{
+    // Trace timestamps are nanosecond-resolution microsecond values;
+    // the default 6 significant digits would quantize them. The
+    // explicit-precision overload must round-trip them exactly.
+    const double ts = 123456789.012345;  // ~123.46 s in us
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginArray();
+    w.value(ts);       // default precision: lossy
+    w.value(ts, 16);   // trace precision: exact
+    w.endArray();
+
+    const JsonValue root = parseJson(out.str());
+    EXPECT_NE(root.items[0].number, ts);
+    EXPECT_EQ(root.items[1].number, ts);
 }
 
 TEST(JsonWriter, EmptyContainers)

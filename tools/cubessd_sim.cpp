@@ -15,6 +15,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "src/cubessd.h"
@@ -37,6 +38,11 @@ struct Options
     std::uint32_t qd = 0;
     bool verbose = false;
     std::string metricsOut;
+    std::string traceOut;
+    std::size_t traceBuffer = std::size_t{1} << 18;
+    std::uint64_t sampleIntervalUs = 0;
+    bool sampleIntervalSet = false;
+    bool listCounters = false;
     nand::FaultParams faults{};
 };
 
@@ -80,6 +86,21 @@ usage()
         "                                 injection)\n"
         "  --fault-wear-scale <x>         how strongly P/E wear amplifies\n"
         "                                 fault probabilities (default 6)\n"
+        "  --trace-out <file>             record a Perfetto-loadable\n"
+        "                                 Chrome trace (request spans,\n"
+        "                                 per-die NAND ops, bus transfers,\n"
+        "                                 GC episodes, sampled counters);\n"
+        "                                 open at https://ui.perfetto.dev\n"
+        "  --trace-buffer <events>        trace ring-buffer capacity in\n"
+        "                                 events (default 262144; oldest\n"
+        "                                 events are dropped on overflow)\n"
+        "  --sample-interval-us <n>       counter sampling period in\n"
+        "                                 simulated microseconds (default\n"
+        "                                 1000 when --trace-out is given,\n"
+        "                                 else off; 0 disables)\n"
+        "  --list-counters                print the sampled counter names\n"
+        "                                 and units for this config, then\n"
+        "                                 exit\n"
         "  --verbose                      print per-chip statistics\n"
         "  --help                         this text\n";
 }
@@ -143,6 +164,17 @@ parseArgs(int argc, char **argv)
             opt.qd = static_cast<std::uint32_t>(std::atoi(value()));
         } else if (arg == "--metrics-out") {
             opt.metricsOut = value();
+        } else if (arg == "--trace-out") {
+            opt.traceOut = value();
+        } else if (arg == "--trace-buffer") {
+            opt.traceBuffer =
+                static_cast<std::size_t>(std::atoll(value()));
+        } else if (arg == "--sample-interval-us") {
+            opt.sampleIntervalUs =
+                static_cast<std::uint64_t>(std::atoll(value()));
+            opt.sampleIntervalSet = true;
+        } else if (arg == "--list-counters") {
+            opt.listCounters = true;
         } else if (arg == "--fault-program") {
             opt.faults.programFailBase = std::atof(value());
             opt.faults.enabled = true;
@@ -170,7 +202,8 @@ parseArgs(int argc, char **argv)
  */
 void
 writeMetricsFile(const std::string &path, const Options &opt,
-                 const ssd::Ssd &dev, const workload::RunResult &result)
+                 const ssd::Ssd &dev, const workload::RunResult &result,
+                 const trace::CounterRegistry *counters)
 {
     std::ofstream out(path);
     if (!out)
@@ -231,6 +264,8 @@ writeMetricsFile(const std::string &path, const Options &opt,
     w.field("write_stalls", stats.writeStalls);
     w.field("write_amplification", stats.writeAmplification());
     w.field("avg_program_latency_us", stats.avgProgramLatencyUs());
+    w.field("buffer_peak_pages",
+            static_cast<std::uint64_t>(dev.ftl().buffer().peakSize()));
     w.endObject();
 
     w.key("failures");
@@ -256,6 +291,11 @@ writeMetricsFile(const std::string &path, const Options &opt,
     w.field("avg_program_latency_us", gc.avgProgramLatencyUs());
     w.endObject();
 
+    if (counters != nullptr) {
+        w.key("timeseries");
+        counters->writeTimeseries(w);
+    }
+
     w.endObject();
     out << '\n';
 }
@@ -279,6 +319,16 @@ main(int argc, char **argv)
         return 2;
     }
     ssd::Ssd dev(config);
+
+    if (opt.listCounters) {
+        trace::CounterRegistry registry;
+        dev.registerCounters(registry);
+        metrics::Table counters({"counter", "unit"});
+        for (std::size_t i = 0; i < registry.size(); ++i)
+            counters.row({registry.name(i), registry.unit(i)});
+        counters.print(std::cout);
+        return 0;
+    }
 
     auto spec = parseWorkload(opt.workload);
     if (opt.qd > 0) {
@@ -305,6 +355,31 @@ main(int argc, char **argv)
     dev.setAging({opt.pe, 0.0});
     driver.prefill(opt.prefillOverwrite);
     dev.setAging({opt.pe, opt.retentionMonths});
+
+    // Tracing starts after the prefill so the ring buffer and the
+    // counter series cover the measured run, not the bulk setup
+    // writes. Counter sampling defaults on (1 ms cadence) whenever a
+    // trace is requested; an explicit --sample-interval-us always
+    // wins.
+    const std::uint64_t sampleIntervalUs =
+        opt.sampleIntervalSet ? opt.sampleIntervalUs
+                              : (opt.traceOut.empty() ? 0 : 1000);
+    std::unique_ptr<trace::TraceSession> traceSession;
+    if (!opt.traceOut.empty()) {
+        trace::TraceConfig traceConfig;
+        traceConfig.capacityEvents = opt.traceBuffer;
+        traceSession = std::make_unique<trace::TraceSession>(traceConfig);
+        dev.attachTrace(traceSession.get());
+    }
+    std::unique_ptr<trace::CounterRegistry> counterRegistry;
+    if (sampleIntervalUs > 0) {
+        counterRegistry = std::make_unique<trace::CounterRegistry>();
+        dev.registerCounters(*counterRegistry);
+        counterRegistry->attachTrace(traceSession.get());
+        counterRegistry->installSampler(dev.queue(),
+                                        sampleIntervalUs * 1000);
+    }
+
     std::cout << " done\nrunning " << opt.requests << " requests..."
               << std::flush;
     const auto result = driver.run(opt.requests);
@@ -375,6 +450,21 @@ main(int argc, char **argv)
                   << cube.cubeStats().ortGuidedReads
                   << " ORT-guided reads, ORT size " << cube.ort().bytes()
                   << " B\n";
+        if (cube.ort().hits() + cube.ort().misses() > 0) {
+            std::cout << "\nORT hits by h-layer:\n";
+            metrics::ortLayerTable(cube.ort()).print(std::cout);
+        }
+        std::uint64_t vfyDone = 0;
+        std::uint64_t vfySkipped = 0;
+        std::uint64_t vfySavedNs = 0;
+        for (std::uint32_t i = 0; i < dev.chipCount(); ++i) {
+            vfyDone += dev.chip(i).stats().verifiesDone;
+            vfySkipped += dev.chip(i).stats().verifiesSkipped;
+            vfySavedNs += dev.chip(i).vfyTimeSaved();
+        }
+        std::cout << "\nVFY-skip savings:\n";
+        metrics::vfySavingsTable(vfyDone, vfySkipped, vfySavedNs)
+            .print(std::cout);
     }
 
     if (opt.verbose) {
@@ -393,8 +483,19 @@ main(int argc, char **argv)
     }
 
     if (!opt.metricsOut.empty()) {
-        writeMetricsFile(opt.metricsOut, opt, dev, result);
+        writeMetricsFile(opt.metricsOut, opt, dev, result,
+                         counterRegistry.get());
         std::cout << "\nmetrics written to " << opt.metricsOut << '\n';
+    }
+
+    if (traceSession) {
+        std::ofstream traceFile(opt.traceOut);
+        if (!traceFile)
+            fatal("cannot open trace file '%s'", opt.traceOut.c_str());
+        traceSession->writeJson(traceFile);
+        std::cout << "\ntrace written to " << opt.traceOut << " ("
+                  << traceSession->recorded() << " events recorded, "
+                  << traceSession->dropped() << " dropped)\n";
     }
 
     dev.ftl().checkConsistency();
