@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Simulator hot-path throughput harness (events per wall-clock second).
+ *
+ * Two measured paths, both written to the BENCH_perf.json sidecar:
+ *
+ *  - micro: the event queue alone — a fixed population of
+ *    self-rescheduling actors with pseudo-random delays, no SSD model.
+ *    Measures raw schedule/dispatch cost.
+ *  - workload: the full request pipeline — prefilled device, cubeFTL,
+ *    OLTP closed loop — events fired by the driver's measured run
+ *    divided by the wall time of that run. This is the number the
+ *    ROADMAP's "5-10x events/s" open item tracks, and what the CI
+ *    perf-smoke job gates against bench/perf_baseline.json
+ *    (tools/perf_gate.py).
+ *
+ * Wall-clock timing is inherently machine-dependent: compare numbers
+ * only across runs on the same machine (the CI gate's 20% tolerance
+ * absorbs runner noise; regenerate the baseline when the fleet
+ * changes).
+ *
+ * Environment:
+ *   CUBESSD_PERF_MICRO_EVENTS  micro event count   (default 4000000)
+ *   CUBESSD_PERF_REQUESTS      workload requests   (default 200000)
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace cubessd;
+
+namespace {
+
+double
+wallSeconds(std::chrono::steady_clock::time_point t0,
+            std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+std::uint64_t
+envCount(const char *name, std::uint64_t fallback)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr || env[0] == '\0')
+        return fallback;
+    const long long v = std::atoll(env);
+    return v > 0 ? static_cast<std::uint64_t>(v) : fallback;
+}
+
+struct PathResult
+{
+    std::uint64_t events = 0;
+    double wallS = 0.0;
+
+    double
+    eventsPerSec() const
+    {
+        return wallS > 0.0 ? static_cast<double>(events) / wallS : 0.0;
+    }
+
+    double
+    nsPerEvent() const
+    {
+        return events > 0
+            ? wallS * 1e9 / static_cast<double>(events)
+            : 0.0;
+    }
+};
+
+void
+writePath(metrics::JsonWriter &json, const char *key, const PathResult &r)
+{
+    json.key(key);
+    json.beginObject();
+    json.field("events", r.events);
+    json.field("wall_s", r.wallS);
+    json.field("events_per_s", r.eventsPerSec());
+    json.field("ns_per_event", r.nsPerEvent());
+    json.endObject();
+}
+
+void
+printPath(const char *name, const PathResult &r)
+{
+    std::cout << "  " << name << ": " << r.events << " events in "
+              << metrics::format(r.wallS, 3) << " s  ->  "
+              << metrics::format(r.eventsPerSec() / 1e6, 2)
+              << " M events/s (" << metrics::format(r.nsPerEvent(), 0)
+              << " ns/event)\n";
+}
+
+/**
+ * Micro path: a fixed population of typed self-rescheduling actors
+ * with varying (deterministic) delays, exercising insert/dequeue and
+ * the same-timestamp FIFO path without any model code — the same
+ * pooled typed-event shape the device hot path uses. Best of three
+ * repetitions (first warms the event pool and the branch predictors).
+ */
+struct MicroActor final : sim::EventHandler
+{
+    sim::EventQueue *queue = nullptr;
+    std::uint64_t *remaining = nullptr;
+    std::uint64_t state = 0;
+
+    void
+    onEvent(sim::EventKind, const sim::EventPayload &) override
+    {
+        if (*remaining == 0)
+            return;
+        --*remaining;
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        // Delays 0..1023 ns: a mix of same-timestamp batches and
+        // short hops across calendar buckets.
+        queue->schedule((state >> 33) & 1023,
+                        sim::EventKind::DriverTick, this);
+    }
+};
+
+PathResult
+microBench(std::uint64_t totalEvents)
+{
+    constexpr int kActors = 64;
+    PathResult best;
+    for (int rep = 0; rep < 3; ++rep) {
+        sim::EventQueue queue;
+        std::uint64_t remaining = totalEvents;
+        MicroActor actors[kActors];
+        for (int i = 0; i < kActors; ++i) {
+            actors[i].queue = &queue;
+            actors[i].remaining = &remaining;
+            actors[i].state =
+                0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(i);
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < kActors; ++i)
+            queue.schedule(static_cast<SimTime>(i),
+                           sim::EventKind::DriverTick, &actors[i]);
+        queue.run();
+        const auto t1 = std::chrono::steady_clock::now();
+        PathResult r;
+        r.events = queue.fired();
+        r.wallS = wallSeconds(t0, t1);
+        if (best.events == 0 || r.eventsPerSec() > best.eventsPerSec())
+            best = r;
+    }
+    return best;
+}
+
+/**
+ * Workload path: cubeFTL + OLTP closed loop on the scaled device,
+ * prefilled. Only the measured run is timed (prefill excluded), so the
+ * number reflects the steady-state request pipeline.
+ */
+PathResult
+workloadBench(std::uint64_t requests, double *iopsOut)
+{
+    ssd::Ssd dev(bench::ssdConfig(ssd::FtlKind::Cube, 42));
+    workload::WorkloadSpec spec{};
+    for (const auto &s : workload::allWorkloads())
+        if (s.name == "OLTP")
+            spec = s;
+    workload::WorkloadGenerator gen(spec, dev.logicalPages(), 49);
+    workload::Driver driver(dev, gen);
+    driver.prefill(0.2);
+
+    const std::uint64_t fired0 = dev.queue().fired();
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = driver.run(requests);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    PathResult r;
+    r.events = dev.queue().fired() - fired0;
+    r.wallS = wallSeconds(t0, t1);
+    if (iopsOut != nullptr)
+        *iopsOut = result.iops;
+    return r;
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::cout << "=== perf: simulator events/s (micro + workload) ===\n"
+              << "(wall-clock throughput; machine-dependent — compare "
+                 "against bench/perf_baseline.json from the same "
+                 "machine)\n";
+
+    const std::uint64_t microEvents =
+        envCount("CUBESSD_PERF_MICRO_EVENTS", 4000000);
+    const std::uint64_t requests =
+        envCount("CUBESSD_PERF_REQUESTS", 200000);
+
+    const PathResult micro = microBench(microEvents);
+    printPath("micro    ", micro);
+
+    double iops = 0.0;
+    const PathResult workload = workloadBench(requests, &iops);
+    printPath("workload ", workload);
+    std::cout << "  workload iops: " << metrics::format(iops, 0) << "\n";
+
+    auto jsonOut = bench::openBenchJson("perf");
+    metrics::JsonWriter json(jsonOut);
+    json.beginObject();
+    json.field("bench", "perf_events");
+    json.field("scale", bench::scaleName());
+    writePath(json, "micro", micro);
+    writePath(json, "workload", workload);
+    json.field("workload_requests", requests);
+    json.field("workload_iops", iops);
+    json.endObject();
+    jsonOut << '\n';
+    return 0;
+}

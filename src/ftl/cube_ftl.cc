@@ -19,6 +19,10 @@ CubeFtl::CubeFtl(const ssd::SsdConfig &config,
       features_(features),
       state_(chipCount())
 {
+    const auto &geom = config.chip.geometry;
+    for (auto &cs : state_)
+        cs.params.resize(static_cast<std::size_t>(geom.blocksPerChip) *
+                         geom.layersPerBlock);
 }
 
 void
@@ -116,11 +120,11 @@ CubeFtl::finalizeChoice(std::uint32_t chip, const WlChoice &pick)
         return choice;
     }
     auto &cs = state_[chip];
-    const auto it =
-        cs.params.find(paramKey(pick.wl.block, pick.wl.layer));
-    if (it != cs.params.end() && it->second.valid) {
-        choice.cmd = it->second.followerCommand(features_.vfySkip,
-                                                features_.windowAdjust);
+    const LeaderParams &params =
+        cs.params[paramKey(pick.wl.block, pick.wl.layer)];
+    if (params.valid) {
+        choice.cmd = params.followerCommand(features_.vfySkip,
+                                            features_.windowAdjust);
         choice.monitor = false;
         ++cubeStats_.followerWithParams;
     } else {
@@ -193,7 +197,7 @@ CubeFtl::onBlockErased(std::uint32_t chip, std::uint32_t block)
     auto &params = state_[chip].params;
     const std::uint64_t base = paramKey(block, 0);
     for (std::uint32_t l = 0; l < geometry().layersPerBlock; ++l)
-        params.erase(base + l);
+        params[base + l] = LeaderParams{};
 }
 
 void
@@ -222,16 +226,15 @@ bool
 CubeFtl::safetyCheck(std::uint32_t chip, const ProgramChoice &choice,
                      const nand::WlProgramResult &result)
 {
-    auto &params = state_[chip].params;
-    const auto key = paramKey(choice.wl.block, choice.wl.layer);
-    const auto it = params.find(key);
-    if (it == params.end() || !it->second.valid)
+    LeaderParams &params =
+        state_[chip].params[paramKey(choice.wl.block, choice.wl.layer)];
+    if (!params.valid)
         return false;
-    if (opm_.needsReprogram(it->second, result)) {
+    if (opm_.needsReprogram(params, result)) {
         // The monitored parameters no longer reflect reality (e.g. a
         // sudden operating-condition change); drop them so the
         // re-program is monitored afresh.
-        params.erase(it);
+        params = LeaderParams{};
         return true;
     }
     return false;

@@ -21,7 +21,6 @@
 #ifndef CUBESSD_FTL_CUBE_FTL_H
 #define CUBESSD_FTL_CUBE_FTL_H
 
-#include <unordered_map>
 #include <vector>
 
 #include "src/ftl/ftl_base.h"
@@ -82,8 +81,10 @@ class CubeFtl : public FtlBase
         MixedWritePoint host[2];
         MixedWritePoint gc;
         bool gcOpen = false;
-        /** OPM parameter cache: (block * L + layer) -> LeaderParams. */
-        std::unordered_map<std::uint64_t, LeaderParams> params;
+        /** OPM parameter cache, dense over the chip's h-layers:
+         *  indexed by (block * L + layer), absent = !valid. Flat so
+         *  the program hot path never touches the heap. */
+        std::vector<LeaderParams> params;
     };
 
     std::uint64_t paramKey(std::uint32_t block, std::uint32_t layer) const

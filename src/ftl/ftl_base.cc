@@ -49,6 +49,8 @@ FtlBase::FtlBase(const ssd::SsdConfig &config,
     for (std::size_t i = 0; i < chips_.size(); ++i)
         blockMgrs_.emplace_back(geom_);
 
+    popScratch_.reserve(geom_.pagesPerWl);
+
     GcHost &host = *this;  // private base: convert inside class scope
     gcEngine_ = std::make_unique<GcEngine>(
         config_, chips_, blockMgrs_, mapping_, host,
@@ -136,42 +138,78 @@ FtlBase::pageInBlock(const nand::PageAddr &addr) const
 }
 
 // ---------------------------------------------------------------------
+// Completion delivery (typed events; see onEvent below)
+// ---------------------------------------------------------------------
+
+void
+FtlBase::scheduleCompletion(ssd::CompletionSink *sink,
+                            std::uint64_t sinkCtx,
+                            const ssd::HostRequest &req, ssd::IoType type,
+                            ssd::Status status, SimTime bufferPhase,
+                            SimTime delay)
+{
+    sim::EventPayload payload;
+    payload.requestComplete.sink = sink;
+    payload.requestComplete.sinkCtx = sinkCtx;
+    payload.requestComplete.id = req.id;
+    payload.requestComplete.arrival = req.arrival;
+    payload.requestComplete.pages = req.pages;
+    payload.requestComplete.type = static_cast<std::uint8_t>(type);
+    payload.requestComplete.status = static_cast<std::uint8_t>(status);
+    payload.requestComplete.bufferPhase = bufferPhase;
+    queue_.schedule(delay, sim::EventKind::RequestComplete, this,
+                    payload);
+}
+
+void
+FtlBase::onEvent(sim::EventKind kind, const sim::EventPayload &payload)
+{
+    if (kind == sim::EventKind::ReadPieceDone) {
+        finishReadPiece(
+            static_cast<ReadContext *>(payload.readPiece.ctx));
+        return;
+    }
+    // RequestComplete: a write (or rejected request) reaches the host.
+    const auto &rc = payload.requestComplete;
+    if (rc.sink == nullptr)
+        return;
+    ssd::Completion c;
+    c.id = rc.id;
+    c.type = static_cast<ssd::IoType>(rc.type);
+    c.pages = rc.pages;
+    c.arrival = rc.arrival;
+    c.finish = queue_.now();
+    c.status = static_cast<ssd::Status>(rc.status);
+    // Writes complete at the DRAM buffer; any extra latency is stall
+    // time waiting for flushes (the unattributed remainder).
+    c.phases.buffer = rc.bufferPhase;
+    static_cast<ssd::CompletionSink *>(rc.sink)->onCompletion(
+        c, rc.sinkCtx);
+}
+
+// ---------------------------------------------------------------------
 // Host read path
 // ---------------------------------------------------------------------
 
 void
-FtlBase::hostRead(const ssd::HostRequest &req, CompletionFn done)
+FtlBase::hostRead(const ssd::HostRequest &req, ssd::CompletionSink *sink,
+                  std::uint64_t sinkCtx)
 {
     if (req.pages == 0 ||
         req.lba + req.pages > mapping_.logicalPages()) {
-        completeWithStatus(req, done, ssd::Status::Rejected);
+        completeWithStatus(req, sink, sinkCtx, ssd::Status::Rejected);
         return;
     }
 
-    struct ReadContext
-    {
-        ssd::HostRequest req;
-        CompletionFn done;
-        std::uint32_t remaining;
-        ssd::PhaseTimes phases;  ///< summed over the request's pages
-        ssd::Status status = ssd::Status::Ok;  ///< worst page outcome
-    };
-    auto ctx = std::make_shared<ReadContext>(
-        ReadContext{req, std::move(done), req.pages, {}});
-
-    auto finishPiece = [this, ctx]() {
-        if (--ctx->remaining == 0 && ctx->done) {
-            ssd::Completion c;
-            c.id = ctx->req.id;
-            c.type = ssd::IoType::Read;
-            c.pages = ctx->req.pages;
-            c.arrival = ctx->req.arrival;
-            c.finish = queue_.now();
-            c.status = ctx->status;
-            c.phases = ctx->phases;
-            ctx->done(c);
-        }
-    };
+    ReadContext *ctx = readCtxPool_.acquire();
+    ctx->id = req.id;
+    ctx->arrival = req.arrival;
+    ctx->pages = req.pages;
+    ctx->sink = sink;
+    ctx->sinkCtx = sinkCtx;
+    ctx->remaining = req.pages;
+    ctx->phases = ssd::PhaseTimes{};
+    ctx->status = ssd::Status::Ok;
 
     for (std::uint32_t i = 0; i < req.pages; ++i) {
         const Lba lba = req.lba + i;
@@ -181,14 +219,22 @@ FtlBase::hostRead(const ssd::HostRequest &req, CompletionFn done)
         if (buffer_.lookup(lba) || inFlight_.contains(lba)) {
             ++stats_.bufferHits;
             ctx->phases.buffer += config_.bufferReadTime;
-            queue_.schedule(config_.bufferReadTime, finishPiece);
+            sim::EventPayload payload;
+            payload.readPiece.ctx = ctx;
+            queue_.schedule(config_.bufferReadTime,
+                            sim::EventKind::ReadPieceDone, this,
+                            payload);
             continue;
         }
         const std::optional<Ppa> ppa = mapping_.lookup(lba);
         if (!ppa) {
             ++stats_.unmappedReads;
             ctx->phases.buffer += config_.bufferReadTime;
-            queue_.schedule(config_.bufferReadTime, finishPiece);
+            sim::EventPayload payload;
+            payload.readPiece.ctx = ctx;
+            queue_.schedule(config_.bufferReadTime,
+                            sim::EventKind::ReadPieceDone, this,
+                            payload);
             continue;
         }
 
@@ -199,26 +245,60 @@ FtlBase::hostRead(const ssd::HostRequest &req, CompletionFn done)
         op.readShiftMv = readShiftFor(chip, addr);
         op.readSoftHint = readSoftHint(chip, addr);
         op.highPriority = true;
-        op.done = [this, ctx, chip, addr, finishPiece](
-                      const ssd::NandOpResult &r) {
-            stats_.readRetries +=
-                static_cast<std::uint64_t>(r.read.numRetries);
-            if (r.read.uncorrectable) {
-                // Retry walk exhausted and the soft LDPC fallthrough
-                // failed too: this page's data is lost.
-                ++stats_.uncorrectableReads;
-                ctx->status = ssd::worseStatus(
-                    ctx->status, ssd::Status::Uncorrectable);
-            }
-            ctx->phases.bus += r.busTime;
-            ctx->phases.die += r.dieTime - r.read.tRetry;
-            ctx->phases.retry += r.read.tRetry;
-            onReadComplete(chip, addr, r.read);
-            finishPiece();
-        };
+        op.listener = this;
+        op.ctx = reinterpret_cast<std::uint64_t>(ctx);
+        op.chip = chip;
         ++stats_.nandReads;
-        chips_[chip].enqueue(std::move(op));
+        chips_[chip].enqueue(op);
     }
+}
+
+void
+FtlBase::finishReadPiece(ReadContext *ctx)
+{
+    if (--ctx->remaining != 0)
+        return;
+    // Copy out and recycle before notifying: the sink may submit new
+    // reads that reuse this context.
+    ssd::Completion c;
+    c.id = ctx->id;
+    c.type = ssd::IoType::Read;
+    c.pages = ctx->pages;
+    c.arrival = ctx->arrival;
+    c.finish = queue_.now();
+    c.status = ctx->status;
+    c.phases = ctx->phases;
+    ssd::CompletionSink *sink = ctx->sink;
+    const std::uint64_t sinkCtx = ctx->sinkCtx;
+    readCtxPool_.release(ctx);
+    if (sink != nullptr)
+        sink->onCompletion(c, sinkCtx);
+}
+
+void
+FtlBase::onNandOpComplete(const ssd::NandOp &op,
+                          const ssd::NandOpResult &result)
+{
+    if (op.kind == ssd::NandOp::Kind::Read) {
+        auto *ctx = reinterpret_cast<ReadContext *>(op.ctx);
+        stats_.readRetries +=
+            static_cast<std::uint64_t>(result.read.numRetries);
+        if (result.read.uncorrectable) {
+            // Retry walk exhausted and the soft LDPC fallthrough
+            // failed too: this page's data is lost.
+            ++stats_.uncorrectableReads;
+            ctx->status = ssd::worseStatus(ctx->status,
+                                           ssd::Status::Uncorrectable);
+        }
+        ctx->phases.bus += result.busTime;
+        ctx->phases.die += result.dieTime - result.read.tRetry;
+        ctx->phases.retry += result.read.tRetry;
+        onReadComplete(op.chip, op.page, result.read);
+        finishReadPiece(ctx);
+        return;
+    }
+    handleProgramComplete(reinterpret_cast<FlushBatch *>(op.ctx),
+                          result);
 }
 
 // ---------------------------------------------------------------------
@@ -226,28 +306,32 @@ FtlBase::hostRead(const ssd::HostRequest &req, CompletionFn done)
 // ---------------------------------------------------------------------
 
 void
-FtlBase::hostWrite(const ssd::HostRequest &req, CompletionFn done)
+FtlBase::hostWrite(const ssd::HostRequest &req,
+                   ssd::CompletionSink *sink, std::uint64_t sinkCtx)
 {
     if (req.pages == 0 ||
         req.lba + req.pages > mapping_.logicalPages()) {
-        completeWithStatus(req, done, ssd::Status::Rejected);
+        completeWithStatus(req, sink, sinkCtx, ssd::Status::Rejected);
         return;
     }
     if (readOnly_) {
         // Spare blocks are exhausted: fail fast instead of accepting
         // data the flush path may no longer be able to place.
         ++stats_.readOnlyRejects;
-        completeWithStatus(req, done, ssd::Status::ReadOnly);
+        completeWithStatus(req, sink, sinkCtx, ssd::Status::ReadOnly);
         return;
     }
-    auto write = std::make_shared<StalledWrite>(
-        StalledWrite{req, std::move(done), 0});
+    StalledWrite *write = stalledPool_.acquire();
+    write->req = req;
+    write->sink = sink;
+    write->sinkCtx = sinkCtx;
+    write->nextPage = 0;
     processWrite(write);
     maybeFlush();
 }
 
 void
-FtlBase::processWrite(const std::shared_ptr<StalledWrite> &write)
+FtlBase::processWrite(StalledWrite *write)
 {
     while (write->nextPage < write->req.pages) {
         const Lba lba = write->req.lba + write->nextPage;
@@ -270,54 +354,33 @@ FtlBase::processWrite(const std::shared_ptr<StalledWrite> &write)
         ++stats_.hostWritePages;
         ++write->nextPage;
     }
-    completeWrite(write->req, write->done);
+    completeWrite(write);
 }
 
 void
-FtlBase::completeWrite(const ssd::HostRequest &req,
-                       const CompletionFn &done)
+FtlBase::completeWrite(StalledWrite *write)
 {
-    queue_.schedule(config_.bufferReadTime, [this, req, done]() {
-        if (!done)
-            return;
-        ssd::Completion c;
-        c.id = req.id;
-        c.type = ssd::IoType::Write;
-        c.pages = req.pages;
-        c.arrival = req.arrival;
-        c.finish = queue_.now();
-        // Writes complete at the DRAM buffer; any extra latency is
-        // stall time waiting for flushes (the unattributed remainder).
-        c.phases.buffer = config_.bufferReadTime;
-        done(c);
-    });
+    scheduleCompletion(write->sink, write->sinkCtx, write->req,
+                       ssd::IoType::Write, ssd::Status::Ok,
+                       config_.bufferReadTime, config_.bufferReadTime);
+    stalledPool_.release(write);
 }
 
 void
 FtlBase::completeWithStatus(const ssd::HostRequest &req,
-                            const CompletionFn &done, ssd::Status status)
+                            ssd::CompletionSink *sink,
+                            std::uint64_t sinkCtx, ssd::Status status)
 {
     if (status == ssd::Status::Rejected)
         ++stats_.rejectedRequests;
-    queue_.schedule(0, [this, req, done, status]() {
-        if (!done)
-            return;
-        ssd::Completion c;
-        c.id = req.id;
-        c.type = req.type;
-        c.pages = req.pages;
-        c.arrival = req.arrival;
-        c.finish = queue_.now();
-        c.status = status;
-        done(c);
-    });
+    scheduleCompletion(sink, sinkCtx, req, req.type, status, 0, 0);
 }
 
 void
 FtlBase::retryStalledWrites()
 {
     while (!stalled_.empty()) {
-        auto write = stalled_.front();
+        StalledWrite *write = stalled_.front();
         stalled_.pop_front();
         const std::uint32_t before = write->nextPage;
         processWrite(write);
@@ -379,30 +442,33 @@ FtlBase::maybeFlush()
             break;
         flushCursor_ = (chip + 1) % chips_.size();
 
-        auto popped = buffer_.popOldest(geom_.pagesPerWl);
-        std::vector<FlushEntry> batch;
-        batch.reserve(geom_.pagesPerWl);
-        for (const auto &e : popped) {
-            batch.push_back(FlushEntry{e.lba, e.token, e.version,
-                                       kInvalidPpa});
-            auto [it, inserted] = inFlight_.try_emplace(
-                e.lba, std::make_pair(e.token, e.version));
-            if (!inserted && it->second.second < e.version)
-                it->second = {e.token, e.version};
+        popScratch_.clear();
+        buffer_.popOldest(geom_.pagesPerWl, popScratch_);
+        FlushBatch *batch = batchPool_.acquire();
+        batch->entries.clear();
+        batch->chip = chip;
+        batch->forGc = false;
+        for (const auto &e : popScratch_) {
+            batch->entries.push_back(
+                FlushEntry{e.lba, e.token, e.version, kInvalidPpa});
+            bool inserted = false;
+            InFlightWrite &w = inFlight_.insertOrGet(e.lba, &inserted);
+            if (inserted || w.version < e.version)
+                w = InFlightWrite{e.token, e.version};
         }
-        while (batch.size() < geom_.pagesPerWl)
-            batch.push_back(FlushEntry{});  // padding (drain mode)
+        while (batch->entries.size() < geom_.pagesPerWl)
+            batch->entries.push_back(FlushEntry{});  // padding (drain)
 
-        dispatchFlush(chip, std::move(batch), /*forGc=*/false);
+        dispatchFlush(batch);
     }
     if (drainMode_ && buffer_.empty())
         drainMode_ = false;
 }
 
 void
-FtlBase::dispatchFlush(std::uint32_t chip, std::vector<FlushEntry> batch,
-                       bool forGc)
+FtlBase::dispatchFlush(FlushBatch *batch)
 {
+    const std::uint32_t chip = batch->chip;
     // Backstop against cascading retirement under fault injection:
     // with the free list empty, a host-path dispatch could force the
     // allocator into its fatal path. Park the batch and retry when GC
@@ -411,53 +477,54 @@ FtlBase::dispatchFlush(std::uint32_t chip, std::vector<FlushEntry> batch,
     // net producer of free blocks and dropping its relocations would
     // erase live data. Unreachable without faults (the watermarks
     // keep the free list stocked).
-    if (!forGc && config_.chip.faults.enabled &&
+    if (!batch->forGc && config_.chip.faults.enabled &&
         blockMgrs_[chip].freeCount() == 0) {
         ++stats_.flushDeferrals;
         if (trace_ != nullptr)
             trace_->instant(traceTrack_, "flush_deferred",
                             queue_.now(), {{"chip", chip}});
-        deferredFlushes_[chip].push_back(std::move(batch));
+        deferredFlushes_[chip].push_back(batch);
         return;
     }
 
     const double mu = buffer_.utilization();
-    ProgramChoice choice = chooseProgramTarget(chip, forGc, mu);
+    batch->choice = chooseProgramTarget(chip, batch->forGc, mu);
 
-    if (choice.isLeader)
+    if (batch->choice.isLeader)
         ++stats_.leaderPrograms;
     else
         ++stats_.followerPrograms;
 
-    std::vector<std::uint64_t> tokens;
-    tokens.reserve(batch.size());
-    for (const auto &e : batch)
-        tokens.push_back(e.token);
+    batch->tokens.clear();
+    for (const auto &e : batch->entries)
+        batch->tokens.push_back(e.token);
 
-    if (forGc)
+    if (batch->forGc)
         gcEngine_->noteProgramIssued(chip);
     else
         ++outstandingFlush_[chip];
 
     ssd::NandOp op;
     op.kind = ssd::NandOp::Kind::Program;
-    op.wl = choice.wl;
-    op.cmd = choice.cmd;
-    op.tokens = std::move(tokens);
-    op.tagLeader = choice.isLeader;
-    op.tagGc = forGc;
-    op.done = [this, chip, choice, forGc,
-               batch = std::move(batch)](const ssd::NandOpResult &r) {
-        handleProgramComplete(chip, choice, batch, forGc, r);
-    };
-    chips_[chip].enqueue(std::move(op));
+    op.wl = batch->choice.wl;
+    op.cmd = batch->choice.cmd;
+    op.tokens = batch->tokens.data();
+    op.tokenCount = static_cast<std::uint32_t>(batch->tokens.size());
+    op.tagLeader = batch->choice.isLeader;
+    op.tagGc = batch->forGc;
+    op.listener = this;
+    op.ctx = reinterpret_cast<std::uint64_t>(batch);
+    op.chip = chip;
+    chips_[chip].enqueue(op);
 }
 
 void
-FtlBase::handleProgramComplete(std::uint32_t chip, ProgramChoice choice,
-                               std::vector<FlushEntry> batch, bool forGc,
+FtlBase::handleProgramComplete(FlushBatch *batch,
                                const ssd::NandOpResult &result)
 {
+    const std::uint32_t chip = batch->chip;
+    const bool forGc = batch->forGc;
+    const ProgramChoice choice = batch->choice;
     auto &mgr = blockMgrs_[chip];
     const bool targetRetired = mgr.info(choice.wl.block).isBad;
     if (result.program.failed || targetRetired) {
@@ -481,7 +548,7 @@ FtlBase::handleProgramComplete(std::uint32_t chip, ProgramChoice choice,
             trace_->instant(traceTrack_, "flush_replay", queue_.now(),
                             {{"chip", chip},
                              {"block", choice.wl.block}});
-        dispatchFlush(chip, std::move(batch), forGc);
+        dispatchFlush(batch);  // reuses the node and its entries
         gcEngine_->maybeStart(chip);
         return;
     }
@@ -512,12 +579,13 @@ FtlBase::handleProgramComplete(std::uint32_t chip, ProgramChoice choice,
                             {{"chip", chip},
                              {"block", choice.wl.block},
                              {"layer", choice.wl.layer}});
-        dispatchFlush(chip, std::move(batch), forGc);
+        dispatchFlush(batch);
         gcEngine_->maybeStart(chip);
         return;
     }
 
-    applyMappings(chip, choice.wl, batch);
+    applyMappings(chip, choice.wl, batch->entries);
+    batchPool_.release(batch);
     onProgramComplete(chip, choice, result.program);
 
     if (forGc) {
@@ -566,10 +634,9 @@ FtlBase::applyMappings(std::uint32_t chip, const nand::WlAddr &wl,
         // simply stays invalid and will be reclaimed by GC.
 
         if (entry.sourcePpa == kInvalidPpa) {
-            auto it = inFlight_.find(entry.lba);
-            if (it != inFlight_.end() &&
-                it->second.second == entry.version) {
-                inFlight_.erase(it);
+            if (const InFlightWrite *w = inFlight_.find(entry.lba);
+                w != nullptr && w->version == entry.version) {
+                inFlight_.erase(entry.lba);
             }
         }
     }
@@ -594,7 +661,9 @@ FtlBase::retireBlock(std::uint32_t chip, std::uint32_t block)
     // block, GC-style (sourcePpa guards against racing host writes).
     // The NAND keeps the data of its intact WLs, so reads served
     // before a relocation lands still return correct tokens; as each
-    // relocated copy maps in, the old page is invalidated.
+    // relocated copy maps in, the old page is invalidated. Local
+    // vectors are fine here: this path only runs under fault
+    // injection, never in steady state.
     std::vector<FlushEntry> pending;
     const auto &info = mgr.info(block);
     for (std::uint32_t i = 0; i < geom_.pagesPerBlock(); ++i) {
@@ -616,12 +685,14 @@ FtlBase::retireBlock(std::uint32_t chip, std::uint32_t block)
          off += geom_.pagesPerWl) {
         const std::size_t end =
             std::min<std::size_t>(pending.size(), off + geom_.pagesPerWl);
-        std::vector<FlushEntry> batch(
-            pending.begin() + static_cast<long>(off),
-            pending.begin() + static_cast<long>(end));
-        while (batch.size() < geom_.pagesPerWl)
-            batch.push_back(FlushEntry{});
-        dispatchFlush(chip, std::move(batch), /*forGc=*/false);
+        FlushBatch *batch = batchPool_.acquire();
+        batch->entries.assign(pending.begin() + static_cast<long>(off),
+                              pending.begin() + static_cast<long>(end));
+        while (batch->entries.size() < geom_.pagesPerWl)
+            batch->entries.push_back(FlushEntry{});
+        batch->chip = chip;
+        batch->forGc = false;
+        dispatchFlush(batch);
     }
 
     checkReadOnly(chip);
@@ -654,9 +725,14 @@ FtlBase::checkReadOnly(std::uint32_t chip)
 // ---------------------------------------------------------------------
 
 void
-FtlBase::gcProgram(std::uint32_t chip, std::vector<FlushEntry> batch)
+FtlBase::gcProgram(std::uint32_t chip,
+                   const std::vector<FlushEntry> &batch)
 {
-    dispatchFlush(chip, std::move(batch), /*forGc=*/true);
+    FlushBatch *b = batchPool_.acquire();
+    b->entries.assign(batch.begin(), batch.end());
+    b->chip = chip;
+    b->forGc = true;
+    dispatchFlush(b);
 }
 
 MilliVolt
@@ -683,10 +759,9 @@ FtlBase::retryDeferredFlushes(std::uint32_t chip)
 {
     while (!deferredFlushes_[chip].empty() &&
            blockMgrs_[chip].freeCount() > 0) {
-        std::vector<FlushEntry> batch =
-            std::move(deferredFlushes_[chip].front());
+        FlushBatch *batch = deferredFlushes_[chip].front();
         deferredFlushes_[chip].pop_front();
-        dispatchFlush(chip, std::move(batch), /*forGc=*/false);
+        dispatchFlush(batch);
     }
 }
 
@@ -714,8 +789,8 @@ FtlBase::peek(Lba lba) const
         return std::nullopt;
     if (auto hit = buffer_.lookup(lba))
         return hit;
-    if (auto it = inFlight_.find(lba); it != inFlight_.end())
-        return it->second.first;
+    if (const InFlightWrite *w = inFlight_.find(lba))
+        return w->token;
     const std::optional<Ppa> ppa = mapping_.lookup(lba);
     if (!ppa)
         return std::nullopt;

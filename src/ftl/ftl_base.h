@@ -17,19 +17,24 @@
  * (onProgramComplete / onReadComplete). The concrete FTLs of the
  * paper's evaluation (pageFTL, vertFTL, cubeFTL, cubeFTL-) are small
  * subclasses.
+ *
+ * The request path is allocation-free at steady state: read contexts,
+ * parked writes and flush batches live in free-list pools, completions
+ * travel as typed events / CompletionSink calls, the in-flight index
+ * is a flat hash map, and NAND completions arrive via NandOpListener.
  */
 
 #ifndef CUBESSD_FTL_FTL_BASE_H
 #define CUBESSD_FTL_FTL_BASE_H
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/flat_map.h"
+#include "src/common/pool.h"
+#include "src/common/ring_deque.h"
 #include "src/common/stats.h"
 #include "src/ftl/block_manager.h"
 #include "src/ftl/ftl_stats.h"
@@ -57,11 +62,11 @@ struct ProgramChoice
     bool monitor = true;    ///< treat the result as fresh leader data
 };
 
-class FtlBase : private GcHost
+class FtlBase : private GcHost,
+                public sim::EventHandler,
+                public ssd::NandOpListener
 {
   public:
-    using CompletionFn = std::function<void(const ssd::Completion &)>;
-
     FtlBase(const ssd::SsdConfig &config,
             std::vector<ssd::ChipUnit> &chips, sim::EventQueue &queue);
     ~FtlBase() override = default;
@@ -69,11 +74,14 @@ class FtlBase : private GcHost
     FtlBase(const FtlBase &) = delete;
     FtlBase &operator=(const FtlBase &) = delete;
 
-    /** Submit a host read; `done` fires when all pages are returned. */
-    void hostRead(const ssd::HostRequest &req, CompletionFn done);
+    /** Submit a host read; `sink` is notified (with `ctx` passed back
+     *  verbatim) when all pages are returned. */
+    void hostRead(const ssd::HostRequest &req, ssd::CompletionSink *sink,
+                  std::uint64_t ctx);
 
-    /** Submit a host write; `done` fires when all pages are buffered. */
-    void hostWrite(const ssd::HostRequest &req, CompletionFn done);
+    /** Submit a host write; `sink` fires when all pages are buffered. */
+    void hostWrite(const ssd::HostRequest &req,
+                   ssd::CompletionSink *sink, std::uint64_t ctx);
 
     /**
      * Force every buffered page to NAND (end-of-run / power-down).
@@ -121,6 +129,15 @@ class FtlBase : private GcHost
      * rate).
      */
     virtual void registerCounters(trace::CounterRegistry &reg);
+
+    /** sim::EventHandler: deferred completions (RequestComplete,
+     *  ReadPieceDone) land here. */
+    void onEvent(sim::EventKind kind,
+                 const sim::EventPayload &payload) override;
+
+    /** ssd::NandOpListener: host reads and flush programs complete. */
+    void onNandOpComplete(const ssd::NandOp &op,
+                          const ssd::NandOpResult &result) override;
 
   protected:
     /**
@@ -224,23 +241,59 @@ class FtlBase : private GcHost
     sim::EventQueue &queue() { return queue_; }
 
   private:
-    /** Host write stalled on a full buffer. */
+    /** In-flight multi-page host read (pooled). */
+    struct ReadContext
+    {
+        std::uint64_t id = 0;
+        SimTime arrival = 0;
+        std::uint32_t pages = 0;
+        ssd::CompletionSink *sink = nullptr;
+        std::uint64_t sinkCtx = 0;
+        std::uint32_t remaining = 0;
+        ssd::PhaseTimes phases{};  ///< summed over the request's pages
+        ssd::Status status = ssd::Status::Ok;  ///< worst page outcome
+    };
+
+    /** Host write in progress, possibly stalled on a full buffer
+     *  (pooled). */
     struct StalledWrite
     {
-        ssd::HostRequest req;
-        CompletionFn done;
+        ssd::HostRequest req{};
+        ssd::CompletionSink *sink = nullptr;
+        std::uint64_t sinkCtx = 0;
         std::uint32_t nextPage = 0;
     };
 
-    void processWrite(const std::shared_ptr<StalledWrite> &write);
-    void completeWrite(const ssd::HostRequest &req,
-                       const CompletionFn &done);
+    /** One WL-sized flush in flight to NAND (pooled; `entries` and
+     *  `tokens` keep their capacity across reuses). */
+    struct FlushBatch
+    {
+        std::vector<FlushEntry> entries;
+        std::vector<std::uint64_t> tokens;
+        ProgramChoice choice{};
+        std::uint32_t chip = 0;
+        bool forGc = false;
+    };
+
+    /** A host write's buffered token + version while its flush is in
+     *  flight (the read path checks this before NAND). */
+    struct InFlightWrite
+    {
+        std::uint64_t token = 0;
+        std::uint64_t version = 0;
+    };
+
+    void processWrite(StalledWrite *write);
+    /** Schedule the write's completion and recycle its record. */
+    void completeWrite(StalledWrite *write);
+
+    /** One page of a read finished; completes the request on the last
+     *  piece (recycling the context). */
+    void finishReadPiece(ReadContext *ctx);
 
     void maybeFlush();
-    void dispatchFlush(std::uint32_t chip, std::vector<FlushEntry> batch,
-                       bool forGc);
-    void handleProgramComplete(std::uint32_t chip, ProgramChoice choice,
-                               std::vector<FlushEntry> batch, bool forGc,
+    void dispatchFlush(FlushBatch *batch);
+    void handleProgramComplete(FlushBatch *batch,
                                const ssd::NandOpResult &result);
     void applyMappings(std::uint32_t chip, const nand::WlAddr &wl,
                        const std::vector<FlushEntry> &batch);
@@ -248,7 +301,15 @@ class FtlBase : private GcHost
 
     /** Complete a request immediately with a non-Ok status. */
     void completeWithStatus(const ssd::HostRequest &req,
-                            const CompletionFn &done, ssd::Status status);
+                            ssd::CompletionSink *sink,
+                            std::uint64_t sinkCtx, ssd::Status status);
+
+    /** Schedule a RequestComplete event `delay` from now. */
+    void scheduleCompletion(ssd::CompletionSink *sink,
+                            std::uint64_t sinkCtx,
+                            const ssd::HostRequest &req, ssd::IoType type,
+                            ssd::Status status, SimTime bufferPhase,
+                            SimTime delay);
 
     /**
      * Retire a block after a program-status fail: mark it bad, notify
@@ -266,7 +327,7 @@ class FtlBase : private GcHost
 
     // GcHost: services the GC engine calls back into.
     void gcProgram(std::uint32_t chip,
-                   std::vector<FlushEntry> batch) override;
+                   const std::vector<FlushEntry> &batch) override;
     MilliVolt gcReadShift(std::uint32_t chip,
                           const nand::PageAddr &addr) override;
     bool gcReadSoftHint(std::uint32_t chip,
@@ -292,9 +353,12 @@ class FtlBase : private GcHost
     std::vector<BlockManager> blockMgrs_;
     ssd::WriteBuffer buffer_;
     std::vector<std::uint64_t> latestIssued_;  ///< per-LBA write version
-    std::unordered_map<Lba, std::pair<std::uint64_t, std::uint64_t>>
-        inFlight_;                             ///< lba -> (token, version)
-    std::deque<std::shared_ptr<StalledWrite>> stalled_;
+    FlatMap64<InFlightWrite> inFlight_;  ///< lba -> buffered flush data
+    ObjectPool<ReadContext> readCtxPool_;
+    ObjectPool<StalledWrite> stalledPool_;
+    ObjectPool<FlushBatch> batchPool_;
+    RingDeque<StalledWrite *> stalled_;
+    std::vector<ssd::BufferEntry> popScratch_;  ///< popOldest staging
     /** Outstanding host-path flushes per chip. Normally 0/1 (the
      *  maybeFlush throttle); bad-block relocations can push it higher
      *  transiently, hence a count rather than a flag. */
@@ -303,7 +367,7 @@ class FtlBase : private GcHost
      *  land them on (cascading retirement under fault injection).
      *  Retried whenever GC returns a block to the free list; empty in
      *  fault-free operation. */
-    std::vector<std::deque<std::vector<FlushEntry>>> deferredFlushes_;
+    std::vector<RingDeque<FlushBatch *>> deferredFlushes_;
     std::unique_ptr<GcEngine> gcEngine_;
     std::uint32_t flushCursor_ = 0;
     std::uint64_t versionCounter_ = 0;

@@ -36,6 +36,10 @@ GcEngine::GcEngine(const ssd::SsdConfig &config,
 {
     if (!policy_)
         fatal("GcEngine: no victim-selection policy");
+    // Worst case per collection: every page of the victim is valid.
+    for (auto &gc : gc_)
+        gc.pending.reserve(geom_.pagesPerBlock());
+    batchScratch_.reserve(geom_.pagesPerWl);
 }
 
 Ppa
@@ -83,9 +87,16 @@ GcEngine::maybeStart(std::uint32_t chip)
     const auto victim = policy_->pickVictim(blockMgrs_[chip]);
     if (!victim)
         return;
-    gc = ChipState{};
+    startCollection(chip, *victim);
+}
+
+void
+GcEngine::startCollection(std::uint32_t chip, std::uint32_t victim)
+{
+    auto &gc = gc_[chip];
+    gc.reset();
     gc.active = true;
-    gc.victim = *victim;
+    gc.victim = victim;
     ++stats_.collections;
     ++mirror_.gcCollections;
     traceCollectionBegin(chip);
@@ -141,17 +152,13 @@ GcEngine::continueOn(std::uint32_t chip)
         op.page = addr;
         op.readShiftMv = host_.gcReadShift(chip, addr);
         op.readSoftHint = host_.gcReadSoftHint(chip, addr);
-        op.done = [this, chip, pageIdx](const ssd::NandOpResult &r) {
-            mirror_.readRetries +=
-                static_cast<std::uint64_t>(r.read.numRetries);
-            --gc_[chip].outstandingReads;
-            finishScanPage(chip, pageIdx);
-            continueOn(chip);
-        };
+        op.listener = this;
+        op.ctx = pageIdx;
+        op.chip = chip;
         ++gc.outstandingReads;
         ++stats_.scanReads;
         ++mirror_.nandReads;
-        chips_[chip].enqueue(std::move(op));
+        chips_[chip].enqueue(op);
     }
 
     maybeDispatchProgram(chip, /*force=*/gc.scanDone &&
@@ -191,16 +198,16 @@ GcEngine::maybeDispatchProgram(std::uint32_t chip, bool force)
     auto &gc = gc_[chip];
     while (gc.pending.size() >= geom_.pagesPerWl ||
            (force && !gc.pending.empty())) {
-        std::vector<FlushEntry> batch;
         const std::size_t take =
             std::min<std::size_t>(gc.pending.size(), geom_.pagesPerWl);
-        batch.assign(gc.pending.begin(),
-                     gc.pending.begin() + static_cast<long>(take));
+        batchScratch_.assign(
+            gc.pending.begin(),
+            gc.pending.begin() + static_cast<long>(take));
         gc.pending.erase(gc.pending.begin(),
                          gc.pending.begin() + static_cast<long>(take));
-        while (batch.size() < geom_.pagesPerWl)
-            batch.push_back(FlushEntry{});
-        host_.gcProgram(chip, std::move(batch));
+        while (batchScratch_.size() < geom_.pagesPerWl)
+            batchScratch_.push_back(FlushEntry{});
+        host_.gcProgram(chip, batchScratch_);
     }
 }
 
@@ -212,46 +219,61 @@ GcEngine::eraseVictim(std::uint32_t chip)
     ssd::NandOp op;
     op.kind = ssd::NandOp::Kind::Erase;
     op.block = gc.victim;
-    op.done = [this, chip](const ssd::NandOpResult &r) {
-        auto &gc = gc_[chip];
-        const std::uint32_t victim = gc.victim;
-        ++stats_.erases;
-        ++mirror_.erases;
-        if (r.eraseFailed) {
-            // Erase-status fail: the block never returns to the free
-            // pool. All its pages were already relocated (GC erases
-            // only fully-invalid victims), so retirement is clean.
-            blockMgrs_[chip].retire(victim);
-            ++mirror_.eraseFailures;
-            ++mirror_.retiredBlocks;
-            if (trace_ != nullptr)
-                trace_->instant(tracks_[chip], "gc_erase_fail",
-                                clock_->now(), {{"block", victim}});
-            host_.gcBlockRetired(chip, victim);
-        } else {
-            blockMgrs_[chip].release(victim);
-            host_.gcBlockErased(chip, victim);
-        }
-        gc.active = false;
-        gc.erasing = false;
+    op.listener = this;
+    op.chip = chip;
+    chips_[chip].enqueue(op);
+}
+
+void
+GcEngine::onNandOpComplete(const ssd::NandOp &op,
+                           const ssd::NandOpResult &result)
+{
+    if (op.kind == ssd::NandOp::Kind::Read) {
+        const auto pageIdx = static_cast<std::uint32_t>(op.ctx);
+        mirror_.readRetries +=
+            static_cast<std::uint64_t>(result.read.numRetries);
+        --gc_[op.chip].outstandingReads;
+        finishScanPage(op.chip, pageIdx);
+        continueOn(op.chip);
+        return;
+    }
+    handleEraseComplete(op.chip, result);
+}
+
+void
+GcEngine::handleEraseComplete(std::uint32_t chip,
+                              const ssd::NandOpResult &result)
+{
+    auto &gc = gc_[chip];
+    const std::uint32_t victim = gc.victim;
+    ++stats_.erases;
+    ++mirror_.erases;
+    if (result.eraseFailed) {
+        // Erase-status fail: the block never returns to the free
+        // pool. All its pages were already relocated (GC erases
+        // only fully-invalid victims), so retirement is clean.
+        blockMgrs_[chip].retire(victim);
+        ++mirror_.eraseFailures;
+        ++mirror_.retiredBlocks;
         if (trace_ != nullptr)
-            trace_->end(tracks_[chip], clock_->now());
-        // Hysteresis: keep collecting until the high watermark.
-        if (blockMgrs_[chip].freeCount() < config_.gcHighWatermark) {
-            const auto next = policy_->pickVictim(blockMgrs_[chip]);
-            if (next) {
-                gc = ChipState{};
-                gc.active = true;
-                gc.victim = *next;
-                ++stats_.collections;
-                ++mirror_.gcCollections;
-                traceCollectionBegin(chip);
-                continueOn(chip);
-            }
-        }
-        host_.gcBackpressureReleased();
-    };
-    chips_[chip].enqueue(std::move(op));
+            trace_->instant(tracks_[chip], "gc_erase_fail",
+                            clock_->now(), {{"block", victim}});
+        host_.gcBlockRetired(chip, victim);
+    } else {
+        blockMgrs_[chip].release(victim);
+        host_.gcBlockErased(chip, victim);
+    }
+    gc.active = false;
+    gc.erasing = false;
+    if (trace_ != nullptr)
+        trace_->end(tracks_[chip], clock_->now());
+    // Hysteresis: keep collecting until the high watermark.
+    if (blockMgrs_[chip].freeCount() < config_.gcHighWatermark) {
+        const auto next = policy_->pickVictim(blockMgrs_[chip]);
+        if (next)
+            startCollection(chip, *next);
+    }
+    host_.gcBackpressureReleased();
 }
 
 }  // namespace cubessd::ftl

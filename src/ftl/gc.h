@@ -108,9 +108,11 @@ class GcHost
   public:
     virtual ~GcHost() = default;
 
-    /** Program one WL of relocated pages through the flush path. */
+    /** Program one WL of relocated pages through the flush path (the
+     *  host copies the batch; the reference is valid only for the
+     *  duration of the call). */
     virtual void gcProgram(std::uint32_t chip,
-                           std::vector<FlushEntry> batch) = 0;
+                           const std::vector<FlushEntry> &batch) = 0;
 
     /** Read-reference shift for a scan read (policy hook). */
     virtual MilliVolt gcReadShift(std::uint32_t chip,
@@ -135,7 +137,7 @@ class GcHost
     virtual void gcBackpressureReleased() = 0;
 };
 
-class GcEngine
+class GcEngine final : public ssd::NandOpListener
 {
   public:
     /**
@@ -184,6 +186,11 @@ class GcEngine
                   std::vector<std::uint32_t> tracks,
                   const sim::EventQueue *clock);
 
+    /** ssd::NandOpListener: scan reads and victim erases complete
+     *  here (op.ctx carries the page index for reads). */
+    void onNandOpComplete(const ssd::NandOp &op,
+                          const ssd::NandOpResult &result) override;
+
   private:
     /** Per-chip GC progress. */
     struct ChipState
@@ -196,8 +203,26 @@ class GcEngine
         bool scanDone = false;
         bool erasing = false;
         std::vector<FlushEntry> pending; ///< relocated pages to program
+
+        /** Back to idle, keeping `pending`'s capacity for the next
+         *  collection (the hot path must not reallocate). */
+        void
+        reset()
+        {
+            active = false;
+            victim = 0;
+            scanIndex = 0;
+            outstandingReads = 0;
+            outstandingPrograms = 0;
+            scanDone = false;
+            erasing = false;
+            pending.clear();
+        }
     };
 
+    void startCollection(std::uint32_t chip, std::uint32_t victim);
+    void handleEraseComplete(std::uint32_t chip,
+                             const ssd::NandOpResult &result);
     void continueOn(std::uint32_t chip);
     void traceCollectionBegin(std::uint32_t chip);
     void finishScanPage(std::uint32_t chip,
@@ -215,6 +240,7 @@ class GcEngine
     nand::NandGeometry geom_;
     nand::AddressCodec codec_;
     std::vector<ChipState> gc_;
+    std::vector<FlushEntry> batchScratch_;  ///< staging for gcProgram
     GcStats stats_;
     FtlStats &mirror_;
     trace::TraceSession *trace_ = nullptr;

@@ -6,6 +6,125 @@
 
 namespace cubessd::sim {
 
+EventQueue::EventQueue()
+    : buckets_(kInitialBuckets, nullptr), bucketMask_(kInitialBuckets - 1),
+      curTop_(kBucketWidth)
+{
+}
+
+EventQueue::~EventQueue() = default;
+
+EventQueue::Event *
+EventQueue::allocEvent()
+{
+    if (freeList_ == nullptr)
+        addPoolChunk();
+    Event *e = freeList_;
+    freeList_ = e->next;
+    return e;
+}
+
+void
+EventQueue::addPoolChunk()
+{
+    auto chunk = std::make_unique<Event[]>(kPoolChunk);
+    for (std::size_t i = 0; i < kPoolChunk; ++i) {
+        chunk[i].next = freeList_;
+        freeList_ = &chunk[i];
+    }
+    poolChunks_.push_back(std::move(chunk));
+    poolCapacity_ += kPoolChunk;
+}
+
+void
+EventQueue::insert(Event *e)
+{
+    if (pending_ >= buckets_.size() * 2)
+        growBuckets();
+    Event **p = &buckets_[(e->when >> kWidthLog2) & bucketMask_];
+    while (*p != nullptr &&
+           ((*p)->when < e->when ||
+            ((*p)->when == e->when && (*p)->seq < e->seq)))
+        p = &(*p)->next;
+    e->next = *p;
+    *p = e;
+    ++pending_;
+}
+
+void
+EventQueue::growBuckets()
+{
+    std::vector<Event *> old = std::move(buckets_);
+    buckets_.assign(old.size() * 2, nullptr);
+    bucketMask_ = buckets_.size() - 1;
+    // Relink every pending event into the wider calendar. insert()
+    // re-checks the growth threshold, but pending_ restarts from zero
+    // here and stays below the doubled threshold, so it cannot recurse.
+    pending_ = 0;
+    for (Event *head : old) {
+        while (head != nullptr) {
+            Event *next = head->next;
+            insert(head);
+            head = next;
+        }
+    }
+    // Reset the cursor to the clock's day: every pending event has
+    // when >= now_, so the dequeue invariant (no event earlier than the
+    // cursor's day) is re-established.
+    const SimTime day = now_ >> kWidthLog2;
+    curBucket_ = day & bucketMask_;
+    curTop_ = (day + 1) << kWidthLog2;
+}
+
+EventQueue::Event *
+EventQueue::peekMin()
+{
+    if (pending_ == 0)
+        return nullptr;
+    // Rotation scan: a bucket head is due when it lies inside the
+    // cursor's current day. Heads from an earlier year of the same
+    // bucket are also < curTop_ and therefore found, so the cursor can
+    // never skip past a pending event. While rotating, remember the
+    // smallest head seen: if a whole year passes with nothing due, that
+    // head is the global minimum (each bucket was examined once).
+    Event *minEv = nullptr;
+    std::size_t minBucket = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        Event *head = buckets_[curBucket_];
+        if (head != nullptr) {
+            if (head->when < curTop_)
+                return head;
+            if (minEv == nullptr || head->when < minEv->when ||
+                (head->when == minEv->when && head->seq < minEv->seq)) {
+                minEv = head;
+                minBucket = curBucket_;
+            }
+        }
+        curBucket_ = (curBucket_ + 1) & bucketMask_;
+        curTop_ += kBucketWidth;
+    }
+    curBucket_ = minBucket;
+    curTop_ = ((minEv->when >> kWidthLog2) + 1) << kWidthLog2;
+    return minEv;
+}
+
+void
+EventQueue::scheduleAt(SimTime when, EventKind kind, EventHandler *target,
+                       const EventPayload &payload)
+{
+    if (when < now_)
+        panic("event scheduled in the past (when=%llu now=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now_));
+    Event *e = allocEvent();
+    e->when = when;
+    e->seq = nextSeq_++;
+    e->kind = kind;
+    e->target = target;
+    e->payload = payload;
+    insert(e);
+}
+
 SimTime
 EventQueue::schedule(SimTime delay, EventAction action)
 {
@@ -21,7 +140,13 @@ EventQueue::scheduleAt(SimTime when, EventAction action)
         panic("event scheduled in the past (when=%llu now=%llu)",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(now_));
-    heap_.push(Entry{when, nextSeq_++, std::move(action)});
+    Event *e = allocEvent();
+    e->when = when;
+    e->seq = nextSeq_++;
+    e->kind = EventKind::Generic;
+    e->target = nullptr;
+    e->fn = std::move(action);
+    insert(e);
 }
 
 void
@@ -37,26 +162,51 @@ EventQueue::setSampler(SimTime interval, SamplerFn fn)
     nextSample_ = now_ + interval;
 }
 
-bool
-EventQueue::step()
+void
+EventQueue::advanceClock(SimTime when)
 {
-    if (heap_.empty())
-        return false;
-    // priority_queue::top() is const; move out via const_cast, which is
-    // safe because we pop immediately and never re-inspect the entry.
-    Entry entry = std::move(const_cast<Entry &>(heap_.top()));
-    heap_.pop();
     if (sampler_) {
         // Catch up on all sampling boundaries up to (and including)
         // this event's time, sampling *before* the event fires.
-        while (nextSample_ <= entry.when) {
+        while (nextSample_ <= when) {
             now_ = nextSample_;
             sampler_(now_);
             nextSample_ += samplerInterval_;
         }
     }
-    now_ = entry.when;
-    entry.action();
+    now_ = when;
+}
+
+void
+EventQueue::dispatch(Event *e)
+{
+    ++fired_;
+    if (e->kind == EventKind::Generic) {
+        // Move the closure out and release the record before invoking,
+        // so the handler can schedule into a fully consistent queue
+        // (and may even reuse this record).
+        EventAction fn = std::move(e->fn);
+        releaseEvent(e);
+        fn();
+    } else {
+        const EventKind kind = e->kind;
+        EventHandler *target = e->target;
+        const EventPayload payload = e->payload;
+        releaseEvent(e);
+        target->onEvent(kind, payload);
+    }
+}
+
+bool
+EventQueue::step()
+{
+    Event *e = peekMin();
+    if (e == nullptr)
+        return false;
+    buckets_[curBucket_] = e->next;
+    --pending_;
+    advanceClock(e->when);
+    dispatch(e);
     return true;
 }
 
@@ -64,8 +214,31 @@ std::uint64_t
 EventQueue::run()
 {
     std::uint64_t fired = 0;
-    while (step())
-        ++fired;
+    while (pending_ != 0) {
+        Event *head = peekMin();
+        const SimTime when = head->when;
+        // Unlink the whole same-timestamp run in one pass; it is a
+        // contiguous, seq-ordered prefix of the bucket list. Events the
+        // dispatched handlers schedule at `when` get higher seqs and
+        // re-enter the bucket for the next iteration — the same order
+        // repeated step() would produce.
+        Event *tail = head;
+        std::size_t n = 1;
+        while (tail->next != nullptr && tail->next->when == when) {
+            tail = tail->next;
+            ++n;
+        }
+        buckets_[curBucket_] = tail->next;
+        tail->next = nullptr;
+        pending_ -= n;
+        fired += n;
+        advanceClock(when);
+        for (Event *cur = head; cur != nullptr;) {
+            Event *next = cur->next;   // dispatch() recycles the record
+            dispatch(cur);
+            cur = next;
+        }
+    }
     return fired;
 }
 
@@ -73,11 +246,17 @@ std::uint64_t
 EventQueue::runUntil(SimTime deadline)
 {
     std::uint64_t fired = 0;
-    while (!heap_.empty() && heap_.top().when <= deadline) {
-        step();
+    while (pending_ != 0) {
+        Event *e = peekMin();
+        if (e->when > deadline)
+            break;
+        buckets_[curBucket_] = e->next;
+        --pending_;
+        advanceClock(e->when);
+        dispatch(e);
         ++fired;
     }
-    if (now_ < deadline && heap_.empty())
+    if (now_ < deadline && pending_ == 0)
         now_ = deadline;
     return fired;
 }

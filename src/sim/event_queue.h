@@ -6,6 +6,30 @@
  * latency (NAND program, bus transfer, buffer flush) is an event scheduled
  * at an absolute SimTime. Events at equal times fire in scheduling order
  * (stable FIFO tie-break) so runs are deterministic.
+ *
+ * Implementation: a calendar queue (Brown, CACM 1988) over pooled typed
+ * event records.
+ *
+ *  - Events live in a free-list pool backed by chunked arrays; once the
+ *    pool has warmed up, scheduling allocates nothing.
+ *  - The calendar is a power-of-2 array of buckets, each a singly-linked
+ *    list kept sorted by (when, seq). An event at time `t` hashes to
+ *    bucket `(t >> kWidthLog2) & mask`, i.e. buckets are "days" of
+ *    2^kWidthLog2 ns and the array is a repeating "year".
+ *  - Dequeue walks the bucket cursor forward one day at a time; a bucket
+ *    head is due when its time falls inside the cursor's current day.
+ *    If a full rotation finds nothing due (all events more than a year
+ *    out), the minimum head seen during the rotation — which is the
+ *    global minimum — is used directly and the cursor jumps to its day.
+ *  - Two events with equal `when` always hash to the same bucket, and
+ *    bucket lists are FIFO within equal times, so the seed's stable
+ *    tie-break (and thus bit-identical runs) is preserved.
+ *
+ * Typed events (EventKind + EventHandler target + POD payload) dispatch
+ * via one virtual call with no heap traffic. Closure events
+ * (EventKind::Generic, the legacy schedule(delay, fn) API) remain for
+ * tests and cold paths; their std::function may allocate, which is why
+ * the hot path does not use them.
  */
 
 #ifndef CUBESSD_SIM_EVENT_QUEUE_H
@@ -13,25 +37,32 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/sim/event.h"
 
 namespace cubessd::sim {
 
-/** Callback type invoked when an event fires. */
+/** Callback type invoked when a Generic (closure) event fires. */
 using EventAction = std::function<void()>;
 
 /** Callback type invoked at each sampling boundary (see setSampler). */
 using SamplerFn = std::function<void(SimTime)>;
 
 /**
- * A time-ordered queue of callbacks with a simulated clock.
+ * A time-ordered queue of events with a simulated clock.
  *
- * Usage:
+ * Hot-path usage (alloc-free):
  * @code
- *   EventQueue eq;
+ *   EventPayload p;
+ *   p.driverTick.thread = 3;
+ *   eq.schedule(500 * kNanosecond, EventKind::DriverTick, this, p);
+ * @endcode
+ *
+ * Cold-path / test usage:
+ * @code
  *   eq.schedule(500 * kNanosecond, [] { ... });
  *   eq.run();                  // drains all events
  * @endcode
@@ -39,23 +70,50 @@ using SamplerFn = std::function<void(SimTime)>;
 class EventQueue
 {
   public:
+    EventQueue();
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
     /** @return the current simulated time. */
     SimTime now() const { return now_; }
 
     /**
-     * Schedule an action `delay` after the current time.
+     * Schedule a typed event `delay` after the current time.
+     * @return the absolute fire time.
+     */
+    SimTime
+    schedule(SimTime delay, EventKind kind, EventHandler *target,
+             const EventPayload &payload = EventPayload{})
+    {
+        const SimTime when = now_ + delay;
+        scheduleAt(when, kind, target, payload);
+        return when;
+    }
+
+    /** Schedule a typed event at an absolute time (must be >= now()). */
+    void scheduleAt(SimTime when, EventKind kind, EventHandler *target,
+                    const EventPayload &payload = EventPayload{});
+
+    /**
+     * Schedule a closure `delay` after the current time (Generic event;
+     * may allocate for the capture — cold paths only).
      * @return the absolute fire time.
      */
     SimTime schedule(SimTime delay, EventAction action);
 
-    /** Schedule an action at an absolute time (must be >= now()). */
+    /** Schedule a closure at an absolute time (must be >= now()). */
     void scheduleAt(SimTime when, EventAction action);
 
     /** @return true if no events remain. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return pending_ == 0; }
 
     /** @return number of pending events. */
-    std::size_t pending() const { return heap_.size(); }
+    std::size_t pending() const { return pending_; }
+
+    /** Total events fired over the queue's lifetime (perf metric). */
+    std::uint64_t fired() const { return fired_; }
 
     /**
      * Fire the earliest event, advancing the clock to its time.
@@ -63,7 +121,12 @@ class EventQueue
      */
     bool step();
 
-    /** Run until the queue is empty. @return number of events fired. */
+    /**
+     * Run until the queue is empty. Events sharing a timestamp are
+     * dequeued as one batch (single cursor scan), then dispatched in
+     * seq order — observable behavior is identical to repeated step().
+     * @return number of events fired.
+     */
     std::uint64_t run();
 
     /**
@@ -87,28 +150,64 @@ class EventQueue
      */
     void setSampler(SimTime interval, SamplerFn fn);
 
+    /** Event records ever allocated (pool high-water; test/bench hook). */
+    std::size_t poolCapacity() const { return poolCapacity_; }
+
+    /** Current number of calendar buckets (test hook). */
+    std::size_t bucketCount() const { return buckets_.size(); }
+
   private:
-    struct Entry
+    /** Pooled event record; `next` doubles as bucket and free-list link. */
+    struct Event
     {
-        SimTime when;
-        std::uint64_t seq;   // FIFO tie-break for equal times
-        EventAction action;
+        SimTime when = 0;
+        std::uint64_t seq = 0;   // FIFO tie-break for equal times
+        Event *next = nullptr;
+        EventHandler *target = nullptr;
+        EventKind kind = EventKind::Generic;
+        EventPayload payload;
+        EventAction fn;          // Generic events only
     };
 
-    struct Later
-    {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+    /** Bucket ("day") width in log2 nanoseconds. */
+    static constexpr unsigned kWidthLog2 = 10;
+    static constexpr SimTime kBucketWidth = SimTime{1} << kWidthLog2;
+    static constexpr std::size_t kInitialBuckets = 1024;
+    static constexpr std::size_t kPoolChunk = 256;
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Event *allocEvent();
+    void releaseEvent(Event *e) { e->next = freeList_; freeList_ = e; }
+    void addPoolChunk();
+
+    void insert(Event *e);
+    void growBuckets();
+
+    /**
+     * Locate (without unlinking) the earliest pending event; leaves the
+     * cursor on its bucket so it is that bucket's head. Returns nullptr
+     * when empty.
+     */
+    Event *peekMin();
+
+    /** Advance the sampler to `when` and set the clock (pre-dispatch). */
+    void advanceClock(SimTime when);
+
+    /** Dispatch one unlinked event and release its record. */
+    void dispatch(Event *e);
+
+    std::vector<Event *> buckets_;
+    std::size_t bucketMask_ = 0;
+    std::size_t curBucket_ = 0;   // next bucket the dequeue scan examines
+    SimTime curTop_ = 0;          // exclusive end of curBucket_'s day
+    std::size_t pending_ = 0;
+
+    std::vector<std::unique_ptr<Event[]>> poolChunks_;
+    Event *freeList_ = nullptr;
+    std::size_t poolCapacity_ = 0;
+
     SimTime now_ = 0;
     std::uint64_t nextSeq_ = 0;
+    std::uint64_t fired_ = 0;
     SamplerFn sampler_;
     SimTime samplerInterval_ = 0;
     SimTime nextSample_ = 0;

@@ -1,6 +1,6 @@
 #include "src/ssd/chip_unit.h"
 
-#include <utility>
+#include <span>
 
 #include "src/common/logging.h"
 #include "src/trace/trace.h"
@@ -14,12 +14,12 @@ ChipUnit::ChipUnit(nand::NandChip &chip, Channel &channel,
 }
 
 void
-ChipUnit::enqueue(NandOp op)
+ChipUnit::enqueue(const NandOp &op)
 {
     if (op.highPriority)
-        pending_.push_front(std::move(op));
+        pending_.push_front(op);
     else
-        pending_.push_back(std::move(op));
+        pending_.push_back(op);
     tryStart();
 }
 
@@ -29,13 +29,13 @@ ChipUnit::tryStart()
     if (busy_ || pending_.empty())
         return;
     busy_ = true;
-    NandOp op = std::move(pending_.front());
+    const NandOp op = pending_.front();
     pending_.pop_front();
-    execute(std::move(op));
+    execute(op);
 }
 
 void
-ChipUnit::execute(NandOp op)
+ChipUnit::execute(const NandOp &op)
 {
     const SimTime now = queue_.now();
     const auto &geom = chip_.geometry();
@@ -59,9 +59,10 @@ ChipUnit::execute(NandOp op)
       case NandOp::Kind::Program: {
         const SimTime tx = timing.busTransferTime(
             static_cast<std::uint64_t>(geom.pageSizeBytes) *
-            op.tokens.size());
+            op.tokenCount);
         const SimTime txStart = channel_.reserve(now, tx, "xfer_in");
-        result.program = chip_.programWl(op.wl, op.cmd, op.tokens);
+        result.program = chip_.programWl(
+            op.wl, op.cmd, std::span(op.tokens, op.tokenCount));
         result.busTime = tx;
         result.dieTime = result.program.tProg;
         result.end = txStart + tx + result.program.tProg;
@@ -77,15 +78,25 @@ ChipUnit::execute(NandOp op)
     if (trace_ != nullptr)
         recordOp(op, result);
 
-    queue_.scheduleAt(result.end,
-                      [this, result, done = std::move(op.done)]() {
-                          busy_ = false;
-                          busyTime_ += result.end - result.start;
-                          ++opsCompleted_;
-                          if (done)
-                              done(result);
-                          tryStart();
-                      });
+    current_ = op;
+    currentResult_ = result;
+    queue_.scheduleAt(result.end, sim::EventKind::ChipOpComplete, this);
+}
+
+void
+ChipUnit::onEvent(sim::EventKind, const sim::EventPayload &)
+{
+    // Copy the in-flight op out first: the listener may enqueue a new
+    // operation, which starts immediately on the now-idle die and
+    // overwrites current_/currentResult_.
+    const NandOp op = current_;
+    const NandOpResult result = currentResult_;
+    busy_ = false;
+    busyTime_ += result.end - result.start;
+    ++opsCompleted_;
+    if (op.listener != nullptr)
+        op.listener->onNandOpComplete(op, result);
+    tryStart();
 }
 
 /**

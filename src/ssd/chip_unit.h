@@ -5,7 +5,7 @@
  * A NAND die executes one command at a time. ChipUnit keeps a FIFO of
  * pending operations per chip, executes the behavioural chip model
  * when an operation starts, accounts for channel (bus) occupancy, and
- * fires a completion callback through the event queue:
+ * fires a completion through the event queue:
  *
  *  - Read:    [sense (die)] -> [transfer out (bus)]
  *  - Program: [transfer in (bus)] -> [ISPP (die)]
@@ -13,16 +13,21 @@
  *
  * The die is considered busy for the whole span of the operation
  * (including its bus phase).
+ *
+ * Completions are delivered through the NandOpListener interface (one
+ * virtual call) rather than a per-op closure, and NandOp itself is a
+ * flat POD record — enqueueing and completing an operation allocates
+ * nothing. Program payloads are passed as a pointer + count into
+ * storage the submitter keeps alive until the completion fires (the
+ * FTL's pooled flush batches).
  */
 
 #ifndef CUBESSD_SSD_CHIP_UNIT_H
 #define CUBESSD_SSD_CHIP_UNIT_H
 
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <vector>
 
+#include "src/common/ring_deque.h"
 #include "src/nand/chip.h"
 #include "src/sim/event_queue.h"
 #include "src/ssd/channel.h"
@@ -41,10 +46,22 @@ struct NandOpResult
     bool eraseFailed = false;          ///< valid for erases (status fail)
 };
 
-/** Completion callback. */
-using NandOpCallback = std::function<void(const NandOpResult &)>;
+struct NandOp;
 
-/** One pending chip operation. */
+/** Receiver of NAND operation completions. */
+class NandOpListener
+{
+  public:
+    /** `op` is the operation as enqueued (its `ctx` identifies the
+     *  submitter's state); valid only for the duration of the call. */
+    virtual void onNandOpComplete(const NandOp &op,
+                                  const NandOpResult &result) = 0;
+
+  protected:
+    ~NandOpListener() = default;
+};
+
+/** One pending chip operation (flat POD; copied by value). */
 struct NandOp
 {
     enum class Kind { Read, Program, Erase };
@@ -56,8 +73,15 @@ struct NandOp
     MilliVolt readShiftMv = 0;
     bool readSoftHint = false;
     nand::ProgramCommand cmd{};
-    std::vector<std::uint64_t> tokens;  ///< Program payload
-    NandOpCallback done;
+    /** Program payload: `tokenCount` tokens at `tokens`. The storage
+     *  must stay valid until the completion fires. */
+    const std::uint64_t *tokens = nullptr;
+    std::uint32_t tokenCount = 0;
+    /** Completion target + opaque submitter context. */
+    NandOpListener *listener = nullptr;
+    std::uint64_t ctx = 0;
+    /** Submitting chip index (for listeners serving many chips). */
+    std::uint32_t chip = 0;
     bool highPriority = false;  ///< queue ahead of normal ops (reads)
     /** @name Trace annotations (observation only, set by the FTL) @{ */
     bool tagLeader = false;  ///< program counts as a leader WL
@@ -65,14 +89,14 @@ struct NandOp
     /** @} */
 };
 
-class ChipUnit
+class ChipUnit final : public sim::EventHandler
 {
   public:
     ChipUnit(nand::NandChip &chip, Channel &channel,
              sim::EventQueue &queue);
 
     /** Enqueue an operation; starts immediately if the die is idle. */
-    void enqueue(NandOp op);
+    void enqueue(const NandOp &op);
 
     bool idle() const { return !busy_ && pending_.empty(); }
     std::size_t queueDepth() const { return pending_.size(); }
@@ -96,16 +120,23 @@ class ChipUnit
         track_ = track;
     }
 
+    /** sim::EventHandler: the in-flight operation's end time arrived. */
+    void onEvent(sim::EventKind kind,
+                 const sim::EventPayload &payload) override;
+
   private:
     void tryStart();
-    void execute(NandOp op);
+    void execute(const NandOp &op);
     void recordOp(const NandOp &op, const NandOpResult &result);
 
     nand::NandChip &chip_;
     Channel &channel_;
     sim::EventQueue &queue_;
-    std::deque<NandOp> pending_;
+    RingDeque<NandOp> pending_;
     bool busy_ = false;
+    /** The op the die is executing (valid while busy_). */
+    NandOp current_{};
+    NandOpResult currentResult_{};
     SimTime busyTime_ = 0;
     std::uint64_t opsCompleted_ = 0;
     trace::TraceSession *trace_ = nullptr;

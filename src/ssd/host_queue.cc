@@ -1,6 +1,7 @@
 #include "src/ssd/host_queue.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/ftl/ftl_base.h"
 #include "src/trace/trace.h"
@@ -24,21 +25,60 @@ HostQueue::HostQueue(sim::EventQueue &queue, ftl::FtlBase &ftl,
 }
 
 RequestId
-HostQueue::submit(HostRequest req, CompletionFn done)
+HostQueue::submit(HostRequest req, CompletionSink *sink,
+                  std::uint64_t ctx)
 {
     if (req.id == 0)
         req.id = nextId_++;
     req.arrival = std::max(req.arrival, queue_.now());
     ++stats_.submitted;
-    queue_.scheduleAt(req.arrival,
-                      [this, req, done = std::move(done)]() {
-                          admit(req, done);
-                      });
+    sim::EventPayload payload;
+    payload.hostAdmit = {sink, ctx,      req.id, req.lba,
+                         req.arrival,
+                         req.pages,
+                         static_cast<std::uint8_t>(req.type)};
+    queue_.scheduleAt(req.arrival, sim::EventKind::HostAdmit, this,
+                      payload);
     return req.id;
 }
 
+RequestId
+HostQueue::submit(HostRequest req, CompletionFn done)
+{
+    FnSink *adapter = fnSinks_.acquire();
+    adapter->fn = std::move(done);
+    adapter->owner = this;
+    return submit(std::move(req), adapter, 0);
+}
+
 void
-HostQueue::admit(const HostRequest &req, const CompletionFn &done)
+HostQueue::FnSink::onCompletion(const Completion &completion,
+                                std::uint64_t)
+{
+    // Move the closure out and recycle the node before invoking: the
+    // callback may submit follow-on requests that reuse it.
+    CompletionFn f = std::move(fn);
+    owner->fnSinks_.release(this);
+    if (f)
+        f(completion);
+}
+
+void
+HostQueue::onEvent(sim::EventKind, const sim::EventPayload &payload)
+{
+    const auto &a = payload.hostAdmit;
+    HostRequest req;
+    req.id = a.id;
+    req.type = static_cast<IoType>(a.type);
+    req.lba = a.lba;
+    req.pages = a.pages;
+    req.arrival = a.arrival;
+    admit(req, static_cast<CompletionSink *>(a.sink), a.sinkCtx);
+}
+
+void
+HostQueue::admit(const HostRequest &req, CompletionSink *sink,
+                 std::uint64_t ctx)
 {
     if (trace_ != nullptr) {
         // One async group per request id, nested begin/end: the outer
@@ -53,16 +93,17 @@ HostQueue::admit(const HostRequest &req, const CompletionFn &done)
     }
     if (depth_ != 0 && inFlight_ >= depth_) {
         ++stats_.blockedSubmissions;
-        waiting_.emplace_back(req, done);
+        waiting_.push_back(Waiter{req, sink, ctx});
         stats_.maxWaiting =
             std::max<std::uint64_t>(stats_.maxWaiting, waiting_.size());
         return;
     }
-    start(req, done);
+    start(req, sink, ctx);
 }
 
 void
-HostQueue::start(const HostRequest &req, const CompletionFn &done)
+HostQueue::start(const HostRequest &req, CompletionSink *sink,
+                 std::uint64_t ctx)
 {
     ++inFlight_;
     const SimTime started = queue_.now();
@@ -72,30 +113,42 @@ HostQueue::start(const HostRequest &req, const CompletionFn &done)
         trace_->asyncBegin("request", "device", req.id, started);
     }
 
-    auto wrapped = [this, done, started,
-                    type = req.type](const Completion &c) {
-        Completion out = c;
-        out.start = started;
-        out.phases.queueWait = out.start - out.arrival;
-        --inFlight_;
-        ++stats_.completed;
-        stats_.latencySum += out.latency();
-        if (trace_ != nullptr) {
-            trace_->asyncEnd("request", "device", out.id, queue_.now());
-            trace_->asyncEnd("request", requestSpanName(type), out.id,
-                             queue_.now());
-        }
-        // Hand the freed slot to the oldest waiter before the host
-        // sees the completion, so backpressure release is FIFO.
-        drainWaiting();
-        if (done)
-            done(out);
-    };
+    Record *record = records_.acquire();
+    record->sink = sink;
+    record->ctx = ctx;
+    record->started = started;
 
     if (req.type == IoType::Read)
-        ftl_.hostRead(req, std::move(wrapped));
+        ftl_.hostRead(req, this, reinterpret_cast<std::uint64_t>(record));
     else
-        ftl_.hostWrite(req, std::move(wrapped));
+        ftl_.hostWrite(req, this,
+                       reinterpret_cast<std::uint64_t>(record));
+}
+
+void
+HostQueue::onCompletion(const Completion &completion, std::uint64_t ctx)
+{
+    auto *record = reinterpret_cast<Record *>(ctx);
+    Completion out = completion;
+    out.start = record->started;
+    out.phases.queueWait = out.start - out.arrival;
+    CompletionSink *sink = record->sink;
+    const std::uint64_t downstreamCtx = record->ctx;
+    records_.release(record);
+
+    --inFlight_;
+    ++stats_.completed;
+    stats_.latencySum += out.latency();
+    if (trace_ != nullptr) {
+        trace_->asyncEnd("request", "device", out.id, queue_.now());
+        trace_->asyncEnd("request", requestSpanName(out.type), out.id,
+                         queue_.now());
+    }
+    // Hand the freed slot to the oldest waiter before the host sees
+    // the completion, so backpressure release is FIFO.
+    drainWaiting();
+    if (sink != nullptr)
+        sink->onCompletion(out, downstreamCtx);
 }
 
 void
@@ -103,9 +156,9 @@ HostQueue::drainWaiting()
 {
     while (!waiting_.empty() &&
            (depth_ == 0 || inFlight_ < depth_)) {
-        auto [req, done] = std::move(waiting_.front());
+        const Waiter waiter = waiting_.front();
         waiting_.pop_front();
-        start(req, done);
+        start(waiter.req, waiter.sink, waiter.ctx);
     }
 }
 

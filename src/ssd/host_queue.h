@@ -13,16 +13,22 @@
  * (N+1)-th in-flight submission waits (backpressure) until a
  * completion frees a slot, which is what makes closed-loop QD sweeps
  * and queueing-delay attribution possible.
+ *
+ * The hot path is allocation-free: admission is a typed event, FTL
+ * completions come back through the CompletionSink interface with a
+ * pooled per-request record, and the wait line is a flat ring. The
+ * std::function submit overload remains for tests and tools (its
+ * adapter nodes are pooled, but the closure itself may allocate).
  */
 
 #ifndef CUBESSD_SSD_HOST_QUEUE_H
 #define CUBESSD_SSD_HOST_QUEUE_H
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <utility>
 
+#include "src/common/pool.h"
+#include "src/common/ring_deque.h"
 #include "src/sim/event_queue.h"
 #include "src/ssd/request.h"
 
@@ -64,7 +70,7 @@ struct HostQueueStats
     }
 };
 
-class HostQueue
+class HostQueue final : public sim::EventHandler, public CompletionSink
 {
   public:
     using CompletionFn = std::function<void(const Completion &)>;
@@ -78,10 +84,15 @@ class HostQueue
 
     /**
      * Submit a request. It arrives at max(now, req.arrival), waits for
-     * a free slot if the queue is at depth, and `done` fires at
-     * completion with all three timestamps and the Status filled in.
+     * a free slot if the queue is at depth, and the completion is
+     * delivered to `sink` (with `ctx` passed back verbatim) with all
+     * three timestamps and the Status filled in.
      * @return the request id (req.id, or a fresh id if it was 0).
      */
+    RequestId submit(HostRequest req, CompletionSink *sink,
+                     std::uint64_t ctx = 0);
+
+    /** Closure-callback variant (tests/tools; may allocate). */
     RequestId submit(HostRequest req, CompletionFn done);
 
     std::uint32_t depth() const { return depth_; }
@@ -94,9 +105,44 @@ class HostQueue
      *  id): request > queue_wait > device (observation only). */
     void setTrace(trace::TraceSession *session) { trace_ = session; }
 
+    /** sim::EventHandler: a submitted request reached its arrival. */
+    void onEvent(sim::EventKind kind,
+                 const sim::EventPayload &payload) override;
+
+    /** CompletionSink: the FTL finished a dispatched request. */
+    void onCompletion(const Completion &completion,
+                      std::uint64_t ctx) override;
+
   private:
-    void admit(const HostRequest &req, const CompletionFn &done);
-    void start(const HostRequest &req, const CompletionFn &done);
+    /** A submission parked behind the queue-depth limit. */
+    struct Waiter
+    {
+        HostRequest req{};
+        CompletionSink *sink = nullptr;
+        std::uint64_t ctx = 0;
+    };
+
+    /** Pooled per-request state between dispatch and completion. */
+    struct Record
+    {
+        CompletionSink *sink = nullptr;
+        std::uint64_t ctx = 0;
+        SimTime started = 0;
+    };
+
+    /** Pooled adapter carrying a std::function completion. */
+    struct FnSink final : CompletionSink
+    {
+        CompletionFn fn;
+        HostQueue *owner = nullptr;
+        void onCompletion(const Completion &completion,
+                          std::uint64_t ctx) override;
+    };
+
+    void admit(const HostRequest &req, CompletionSink *sink,
+               std::uint64_t ctx);
+    void start(const HostRequest &req, CompletionSink *sink,
+               std::uint64_t ctx);
     void drainWaiting();
 
     sim::EventQueue &queue_;
@@ -104,7 +150,9 @@ class HostQueue
     std::uint32_t depth_;
     std::uint64_t inFlight_ = 0;
     std::uint64_t nextId_ = 1;
-    std::deque<std::pair<HostRequest, CompletionFn>> waiting_;
+    RingDeque<Waiter> waiting_;
+    ObjectPool<Record> records_;
+    ObjectPool<FnSink> fnSinks_;
     HostQueueStats stats_;
     trace::TraceSession *trace_ = nullptr;
 };

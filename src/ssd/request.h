@@ -120,6 +120,25 @@ struct Completion
     SimTime serviceTime() const { return finish - start; }
 };
 
+/**
+ * Receiver of request completions.
+ *
+ * The hot path hands completions from stage to stage through this
+ * interface instead of std::function callbacks: one virtual call, no
+ * closure allocation. `ctx` is an opaque value the submitter passed
+ * alongside the sink (a pooled record, a thread index, ...) and is
+ * returned verbatim.
+ */
+class CompletionSink
+{
+  public:
+    virtual void onCompletion(const Completion &completion,
+                              std::uint64_t ctx) = 0;
+
+  protected:
+    ~CompletionSink() = default;
+};
+
 }  // namespace cubessd::ssd
 
 #endif  // CUBESSD_SSD_REQUEST_H

@@ -9,46 +9,67 @@ WriteBuffer::WriteBuffer(std::uint32_t capacityPages)
 {
     if (capacity_ == 0)
         fatal("WriteBuffer: capacity must be positive");
+    slots_.resize(capacity_);
+    freeSlots_.reserve(capacity_);
+    for (std::uint32_t i = capacity_; i-- > 0;)
+        freeSlots_.push_back(i);
 }
 
 bool
 WriteBuffer::insert(Lba lba, std::uint64_t token, std::uint64_t version)
 {
-    auto it = index_.find(lba);
-    if (it != index_.end()) {
-        it->second->token = token;
-        it->second->version = version;
+    if (std::uint32_t *slot = index_.find(lba)) {
+        slots_[*slot].entry.token = token;
+        slots_[*slot].entry.version = version;
         return true;
     }
     if (full())
         return false;
-    fifo_.push_back(BufferEntry{lba, token, version});
-    index_.emplace(lba, std::prev(fifo_.end()));
-    if (fifo_.size() > peak_)
-        peak_ = fifo_.size();
+    const std::uint32_t slot = freeSlots_.back();
+    freeSlots_.pop_back();
+    Slot &s = slots_[slot];
+    s.entry = BufferEntry{lba, token, version};
+    s.prev = tail_;
+    s.next = kNil;
+    if (tail_ != kNil)
+        slots_[tail_].next = slot;
+    else
+        head_ = slot;
+    tail_ = slot;
+
+    bool inserted = false;
+    index_.insertOrGet(lba, &inserted) = slot;
+    ++size_;
+    if (size_ > peak_)
+        peak_ = size_;
     return true;
 }
 
 std::optional<std::uint64_t>
 WriteBuffer::lookup(Lba lba) const
 {
-    auto it = index_.find(lba);
-    if (it == index_.end())
+    const std::uint32_t *slot = index_.find(lba);
+    if (slot == nullptr)
         return std::nullopt;
-    return it->second->token;
+    return slots_[*slot].entry.token;
 }
 
-std::vector<BufferEntry>
-WriteBuffer::popOldest(std::uint32_t n)
+void
+WriteBuffer::popOldest(std::uint32_t n, std::vector<BufferEntry> &out)
 {
-    std::vector<BufferEntry> out;
-    out.reserve(n);
-    while (n-- > 0 && !fifo_.empty()) {
-        out.push_back(fifo_.front());
-        index_.erase(fifo_.front().lba);
-        fifo_.pop_front();
+    while (n-- > 0 && head_ != kNil) {
+        const std::uint32_t slot = head_;
+        Slot &s = slots_[slot];
+        out.push_back(s.entry);
+        index_.erase(s.entry.lba);
+        head_ = s.next;
+        if (head_ != kNil)
+            slots_[head_].prev = kNil;
+        else
+            tail_ = kNil;
+        freeSlots_.push_back(slot);
+        --size_;
     }
-    return out;
 }
 
 }  // namespace cubessd::ssd

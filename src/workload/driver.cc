@@ -21,25 +21,20 @@ Driver::prefill(double overwriteFraction)
 
     // Phase 1: sequential fill of the whole logical space.
     std::uint64_t nextLba = 0;
-    std::uint64_t outstanding = 0;
-    auto submitSeq = [&]() {
-        const auto pages = static_cast<std::uint32_t>(
-            std::min<std::uint64_t>(kChunk, fill - nextLba));
-        ssd::HostRequest req;
-        req.type = ssd::IoType::Write;
-        req.lba = nextLba;
-        req.pages = pages;
-        nextLba += pages;
-        ++outstanding;
-        ssd_.hostQueue().submit(req,
-                                [&outstanding](const ssd::Completion &) {
-                                    --outstanding;
-                                });
-    };
-    while (nextLba < fill || outstanding > 0) {
-        while (nextLba < fill && outstanding < kDepth)
-            submitSeq();
-        if (outstanding > 0 && !ssd_.queue().step())
+    prefillOutstanding_ = 0;
+    while (nextLba < fill || prefillOutstanding_ > 0) {
+        while (nextLba < fill && prefillOutstanding_ < kDepth) {
+            const auto pages = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(kChunk, fill - nextLba));
+            ssd::HostRequest req;
+            req.type = ssd::IoType::Write;
+            req.lba = nextLba;
+            req.pages = pages;
+            nextLba += pages;
+            ++prefillOutstanding_;
+            ssd_.hostQueue().submit(req, this, kPrefillCtx);
+        }
+        if (prefillOutstanding_ > 0 && !ssd_.queue().step())
             panic("Driver::prefill: queue drained with I/O outstanding");
     }
 
@@ -47,20 +42,17 @@ Driver::prefill(double overwriteFraction)
     Rng rng(ssd_.config().seed ^ 0xFEEDFACEull);
     std::uint64_t remaining = static_cast<std::uint64_t>(
         static_cast<double>(ws) * overwriteFraction);
-    while (remaining > 0 || outstanding > 0) {
-        while (remaining > 0 && outstanding < kDepth) {
+    while (remaining > 0 || prefillOutstanding_ > 0) {
+        while (remaining > 0 && prefillOutstanding_ < kDepth) {
             ssd::HostRequest req;
             req.type = ssd::IoType::Write;
             req.lba = rng.uniformInt(ws);
             req.pages = 1;
             --remaining;
-            ++outstanding;
-            ssd_.hostQueue().submit(
-                req, [&outstanding](const ssd::Completion &) {
-                    --outstanding;
-                });
+            ++prefillOutstanding_;
+            ssd_.hostQueue().submit(req, this, kPrefillCtx);
         }
-        if (outstanding > 0 && !ssd_.queue().step())
+        if (prefillOutstanding_ > 0 && !ssd_.queue().step())
             panic("Driver::prefill: queue drained with I/O outstanding");
     }
     ssd_.drain();
@@ -86,47 +78,63 @@ Driver::submitOne(std::uint32_t thread)
     ++outstanding_;
     ++threads_[thread].outstanding;
 
-    ssd_.hostQueue().submit(req, [this,
-                                  thread](const ssd::Completion &c) {
-        // Every measured request is awaited before run() returns and
-        // nulls result_; a completion arriving with result_ == nullptr
-        // means a request leaked past the measured window.
-        if (result_ == nullptr)
-            panic("Driver: completion after the measured window "
-                  "(id %llu)", static_cast<unsigned long long>(c.id));
-        auto &rec = c.type == ssd::IoType::Read
-                        ? result_->readLatencyUs
-                        : result_->writeLatencyUs;
-        rec.add(toMicroseconds(c.latency()));
-        result_->queueWaitUs.add(toMicroseconds(c.queueWait()));
-        result_->requestMetrics.record(c);
-        ++result_->statusCounts[static_cast<std::size_t>(c.status)];
-        ++result_->completedRequests;
-        --outstanding_;
-        auto &t = threads_[thread];
-        --t.outstanding;
+    ssd_.hostQueue().submit(req, this, thread);
+}
 
-        const auto &spec = generator_.spec();
-        if (spec.burstLength == 0) {
-            // Steady closed loop: replace the completed request.
-            if (toSubmit_ > 0)
-                submitOne(thread);
-        } else if (t.outstanding == 0 && toSubmit_ > 0) {
-            // This thread's burst completed: idle (exponential think
-            // time around the spec's gap), then fire its next burst.
-            const SimTime gap = static_cast<SimTime>(
-                pacingRng_.exponential(
-                    static_cast<double>(spec.interBurstGap)));
-            ssd_.queue().schedule(gap, [this, thread]() {
-                auto &t2 = threads_[thread];
-                t2.burstRemaining = sampleBurstLength();
-                while (toSubmit_ > 0 && t2.burstRemaining > 0) {
-                    --t2.burstRemaining;
-                    submitOne(thread);
-                }
-            });
-        }
-    });
+void
+Driver::onCompletion(const ssd::Completion &c, std::uint64_t ctx)
+{
+    if (ctx == kPrefillCtx) {
+        --prefillOutstanding_;
+        return;
+    }
+    const auto thread = static_cast<std::uint32_t>(ctx);
+
+    // Every measured request is awaited before run() returns and
+    // nulls result_; a completion arriving with result_ == nullptr
+    // means a request leaked past the measured window.
+    if (result_ == nullptr)
+        panic("Driver: completion after the measured window "
+              "(id %llu)", static_cast<unsigned long long>(c.id));
+    auto &rec = c.type == ssd::IoType::Read
+                    ? result_->readLatencyUs
+                    : result_->writeLatencyUs;
+    rec.add(toMicroseconds(c.latency()));
+    result_->queueWaitUs.add(toMicroseconds(c.queueWait()));
+    result_->requestMetrics.record(c);
+    ++result_->statusCounts[static_cast<std::size_t>(c.status)];
+    ++result_->completedRequests;
+    --outstanding_;
+    auto &t = threads_[thread];
+    --t.outstanding;
+
+    const auto &spec = generator_.spec();
+    if (spec.burstLength == 0) {
+        // Steady closed loop: replace the completed request.
+        if (toSubmit_ > 0)
+            submitOne(thread);
+    } else if (t.outstanding == 0 && toSubmit_ > 0) {
+        // This thread's burst completed: idle (exponential think
+        // time around the spec's gap), then fire its next burst.
+        const SimTime gap = static_cast<SimTime>(
+            pacingRng_.exponential(
+                static_cast<double>(spec.interBurstGap)));
+        sim::EventPayload payload;
+        payload.driverTick.thread = thread;
+        ssd_.queue().schedule(gap, sim::EventKind::DriverTick, this,
+                              payload);
+    }
+}
+
+void
+Driver::onEvent(sim::EventKind, const sim::EventPayload &payload)
+{
+    auto &t = threads_[payload.driverTick.thread];
+    t.burstRemaining = sampleBurstLength();
+    while (toSubmit_ > 0 && t.burstRemaining > 0) {
+        --t.burstRemaining;
+        submitOne(payload.driverTick.thread);
+    }
 }
 
 RunResult

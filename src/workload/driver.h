@@ -58,7 +58,7 @@ struct RunResult
     }
 };
 
-class Driver
+class Driver final : public ssd::CompletionSink, public sim::EventHandler
 {
   public:
     Driver(ssd::Ssd &ssd, WorkloadGenerator &generator);
@@ -73,7 +73,20 @@ class Driver
     /** Run `requests` requests and collect IOPS/latency. */
     RunResult run(std::uint64_t requests);
 
+    /** ssd::CompletionSink: a submitted request completed (ctx is the
+     *  submitting thread, or the prefill sentinel). */
+    void onCompletion(const ssd::Completion &completion,
+                      std::uint64_t ctx) override;
+
+    /** sim::EventHandler: a burst thread's think time expired. */
+    void onEvent(sim::EventKind kind,
+                 const sim::EventPayload &payload) override;
+
   private:
+    /** onCompletion ctx marking a prefill (unmeasured) request. */
+    static constexpr std::uint64_t kPrefillCtx =
+        ~static_cast<std::uint64_t>(0);
+
     struct ThreadState
     {
         std::uint64_t outstanding = 0;
@@ -93,6 +106,7 @@ class Driver
     std::uint64_t outstanding_ = 0;
     std::vector<ThreadState> threads_;
     SimTime runStart_ = 0;
+    std::uint64_t prefillOutstanding_ = 0;
 };
 
 }  // namespace cubessd::workload

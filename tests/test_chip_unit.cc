@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/nand/chip.h"
@@ -15,6 +19,21 @@
 
 namespace cubessd::ssd {
 namespace {
+
+using NandOpCallback = std::function<void(const NandOpResult &)>;
+
+/** Adapts the listener interface back to per-op closures for tests. */
+struct CallbackListener final : NandOpListener
+{
+    NandOpCallback fn;
+
+    void
+    onNandOpComplete(const NandOp &, const NandOpResult &result) override
+    {
+        if (fn)
+            fn(result);
+    }
+};
 
 class ChipUnitTest : public ::testing::Test
 {
@@ -27,13 +46,30 @@ class ChipUnitTest : public ::testing::Test
         unit_ = std::make_unique<ChipUnit>(*chip_, channel_, queue_);
     }
 
+    NandOpListener *
+    listen(NandOpCallback cb)
+    {
+        listeners_.push_back(std::make_unique<CallbackListener>());
+        listeners_.back()->fn = std::move(cb);
+        return listeners_.back().get();
+    }
+
+    /** Per-WL token storage outliving the op (NandOp borrows it). */
+    const std::uint64_t *
+    wlTokens(const nand::NandGeometry &geom)
+    {
+        tokenStorage_.emplace_back(geom.pagesPerWl, 1);
+        return tokenStorage_.back().data();
+    }
+
     NandOp
     eraseOp(std::uint32_t block, NandOpCallback cb)
     {
         NandOp op;
         op.kind = NandOp::Kind::Erase;
         op.block = block;
-        op.done = std::move(cb);
+        if (cb)
+            op.listener = listen(std::move(cb));
         return op;
     }
 
@@ -43,8 +79,10 @@ class ChipUnitTest : public ::testing::Test
         NandOp op;
         op.kind = NandOp::Kind::Program;
         op.wl = wl;
-        op.tokens.assign(chip_->geometry().pagesPerWl, 1);
-        op.done = std::move(cb);
+        op.tokens = wlTokens(chip_->geometry());
+        op.tokenCount = chip_->geometry().pagesPerWl;
+        if (cb)
+            op.listener = listen(std::move(cb));
         return op;
     }
 
@@ -56,7 +94,8 @@ class ChipUnitTest : public ::testing::Test
         op.kind = NandOp::Kind::Read;
         op.page = page;
         op.highPriority = highPriority;
-        op.done = std::move(cb);
+        if (cb)
+            op.listener = listen(std::move(cb));
         return op;
     }
 
@@ -64,6 +103,8 @@ class ChipUnitTest : public ::testing::Test
     Channel channel_;
     std::unique_ptr<nand::NandChip> chip_;
     std::unique_ptr<ChipUnit> unit_;
+    std::deque<std::unique_ptr<CallbackListener>> listeners_;
+    std::deque<std::vector<std::uint64_t>> tokenStorage_;
 };
 
 TEST(Channel, ReservationsSerialize)
@@ -167,12 +208,13 @@ TEST_F(ChipUnitTest, SharedChannelSerializesTransfers)
     NandOp e2;
     e2.kind = NandOp::Kind::Erase;
     e2.block = 0;
-    unit2.enqueue(std::move(e2));
+    unit2.enqueue(e2);
     NandOp p2;
     p2.kind = NandOp::Kind::Program;
     p2.wl = {0, 0, 0};
-    p2.tokens.assign(chip2.geometry().pagesPerWl, 1);
-    unit2.enqueue(std::move(p2));
+    p2.tokens = wlTokens(chip2.geometry());
+    p2.tokenCount = chip2.geometry().pagesPerWl;
+    unit2.enqueue(p2);
     queue_.run();
 
     const SimTime busBefore = channel_.busyTime();
@@ -183,8 +225,8 @@ TEST_F(ChipUnitTest, SharedChannelSerializesTransfers)
     NandOp read2;
     read2.kind = NandOp::Kind::Read;
     read2.page = {0, 0, 0, 0};
-    read2.done = [&](const NandOpResult &r) { r2 = r; };
-    unit2.enqueue(std::move(read2));
+    read2.listener = listen([&](const NandOpResult &r) { r2 = r; });
+    unit2.enqueue(read2);
     queue_.run();
 
     const SimTime tx =

@@ -5,12 +5,40 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/sim/event_queue.h"
 
 namespace cubessd::sim {
 namespace {
+
+/** Typed-event target that logs payload.raw.u0 (and fire times). */
+struct RecordingHandler final : EventHandler
+{
+    EventQueue *eq = nullptr;
+    std::vector<std::uint64_t> *log = nullptr;
+    std::vector<SimTime> *times = nullptr;
+
+    void
+    onEvent(EventKind, const EventPayload &payload) override
+    {
+        if (log != nullptr)
+            log->push_back(payload.raw.u0);
+        if (times != nullptr)
+            times->push_back(eq->now());
+    }
+};
+
+EventPayload
+tagged(std::uint64_t u0)
+{
+    EventPayload p;
+    p.raw.u0 = u0;
+    return p;
+}
 
 TEST(EventQueue, FiresInTimeOrder)
 {
@@ -106,6 +134,237 @@ TEST(EventQueueDeathTest, PastSchedulingPanics)
     eq.schedule(50, [] {});
     eq.run();
     EXPECT_DEATH(eq.scheduleAt(10, [] {}), "past");
+}
+
+TEST(EventQueue, TypedEventsDispatchWithPayload)
+{
+    EventQueue eq;
+    std::vector<std::uint64_t> log;
+    std::vector<SimTime> times;
+    RecordingHandler h;
+    h.eq = &eq;
+    h.log = &log;
+    h.times = &times;
+
+    eq.schedule(30, EventKind::DriverTick, &h, tagged(3));
+    eq.schedule(10, EventKind::ChipOpComplete, &h, tagged(1));
+    eq.schedule(20, EventKind::RequestComplete, &h, tagged(2));
+    EXPECT_EQ(eq.run(), 3u);
+    EXPECT_EQ(log, (std::vector<std::uint64_t>{1, 2, 3}));
+    EXPECT_EQ(times, (std::vector<SimTime>{10, 20, 30}));
+}
+
+TEST(EventQueue, SameTimestampFifoStressMixedKinds)
+{
+    // Many events on a handful of shared timestamps, scheduled in
+    // interleaved order, mixing typed and Generic records: within each
+    // timestamp the firing order must equal the scheduling order.
+    EventQueue eq;
+    std::vector<std::uint64_t> log;
+    RecordingHandler h;
+    h.eq = &eq;
+    h.log = &log;
+
+    const SimTime ts[4] = {40, 10, 20, 40};  // includes a duplicate
+    std::vector<std::uint64_t> nextTag(4, 0);
+    std::vector<std::vector<std::uint64_t>> expected(4);
+    for (int round = 0; round < 500; ++round) {
+        const std::size_t slot =
+            static_cast<std::size_t>(round * 7 % 4);
+        const std::uint64_t tag =
+            static_cast<std::uint64_t>(slot) * 10000 + nextTag[slot]++;
+        expected[slot].push_back(tag);
+        if (round % 3 == 0) {
+            // Closure events share the same FIFO ordering domain.
+            eq.scheduleAt(ts[slot],
+                          [&log, tag] { log.push_back(tag); });
+        } else {
+            eq.scheduleAt(ts[slot], EventKind::DriverTick, &h,
+                          tagged(tag));
+        }
+    }
+    eq.run();
+
+    // Reconstruct the expected global order: slots sorted by time,
+    // equal-time slots (0 and 3, both at t=40) interleaved in their
+    // original scheduling order -- which is exactly what `log` holds
+    // filtered by slot; check per-slot subsequences and the time
+    // grouping.
+    std::vector<std::vector<std::uint64_t>> got(4);
+    for (std::uint64_t v : log)
+        got[static_cast<std::size_t>(v / 10000)].push_back(v);
+    for (std::size_t s = 0; s < 4; ++s)
+        EXPECT_EQ(got[s], expected[s]) << "slot " << s;
+    // Slot 1 (t=10) fully precedes slot 2 (t=20), which precedes the
+    // t=40 events.
+    std::vector<std::size_t> firstIndex(4, 0), lastIndex(4, 0);
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        const std::size_t s = static_cast<std::size_t>(log[i] / 10000);
+        if (firstIndex[s] == 0 && lastIndex[s] == 0)
+            firstIndex[s] = i + 1;
+        lastIndex[s] = i + 1;
+    }
+    EXPECT_LT(lastIndex[1], firstIndex[2]);
+    EXPECT_LT(lastIndex[2], firstIndex[0]);
+    EXPECT_LT(lastIndex[2], firstIndex[3]);
+}
+
+TEST(EventQueue, CalendarRolloverFarFuture)
+{
+    // The initial calendar spans ~1M ns (1024 buckets x 1024 ns).
+    // Events several "years" out exercise the rotation fallback that
+    // jumps the cursor instead of scanning every intervening day.
+    EventQueue eq;
+    std::vector<std::uint64_t> log;
+    std::vector<SimTime> times;
+    RecordingHandler h;
+    h.eq = &eq;
+    h.log = &log;
+    h.times = &times;
+
+    eq.schedule(7'500'000, EventKind::DriverTick, &h, tagged(4));
+    eq.schedule(100, EventKind::DriverTick, &h, tagged(1));
+    eq.schedule(5'000'000, EventKind::DriverTick, &h, tagged(3));
+    eq.schedule(1'048'576, EventKind::DriverTick, &h, tagged(2));
+
+    EXPECT_EQ(eq.run(), 4u);
+    EXPECT_EQ(log, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+    EXPECT_EQ(times,
+              (std::vector<SimTime>{100, 1'048'576, 5'000'000,
+                                    7'500'000}));
+}
+
+TEST(EventQueue, RepeatedYearJumpsKeepOrder)
+{
+    // A self-rescheduling actor that hops ~1.3 years per step: every
+    // dequeue goes through the full-rotation + cursor-jump path.
+    EventQueue eq;
+    int hops = 0;
+    SimTime last = 0;
+    std::function<void()> hop = [&] {
+        EXPECT_GT(eq.now(), last);
+        last = eq.now();
+        if (++hops < 50)
+            eq.schedule(1'350'000, hop);
+    };
+    eq.schedule(1'350'000, hop);
+    eq.run();
+    EXPECT_EQ(hops, 50);
+    EXPECT_EQ(eq.now(), 50u * 1'350'000u);
+}
+
+TEST(EventQueue, BucketGrowthPreservesOrder)
+{
+    // Push pending above 2x the initial bucket count to force the
+    // calendar to resize mid-run, with pseudorandom times: output must
+    // still be sorted by time with FIFO tie-break.
+    EventQueue eq;
+    std::vector<std::uint64_t> log;
+    RecordingHandler h;
+    h.eq = &eq;
+    h.log = &log;
+
+    const std::size_t bucketsBefore = eq.bucketCount();
+    cubessd::Rng rng(42);
+    constexpr std::uint64_t kEvents = 5000;
+    std::vector<SimTime> when(kEvents);
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+        when[i] = rng.uniformInt(1u << 20);
+        eq.scheduleAt(when[i], EventKind::DriverTick, &h, tagged(i));
+    }
+    EXPECT_GT(eq.pending(), 2 * bucketsBefore);
+    eq.run();
+    EXPECT_GT(eq.bucketCount(), bucketsBefore);
+
+    ASSERT_EQ(log.size(), kEvents);
+    for (std::size_t i = 1; i < log.size(); ++i) {
+        const SimTime a = when[log[i - 1]];
+        const SimTime b = when[log[i]];
+        ASSERT_LE(a, b) << "out of time order at " << i;
+        if (a == b) {
+            ASSERT_LT(log[i - 1], log[i])
+                << "FIFO tie-break violated at " << i;
+        }
+    }
+}
+
+TEST(EventQueue, PoolGrowsOnceThenRecyclesRecords)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.poolCapacity(), 0u);
+    std::vector<std::uint64_t> log;
+    RecordingHandler h;
+    h.eq = &eq;
+    h.log = &log;
+
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        eq.schedule(i, EventKind::DriverTick, &h, tagged(i));
+    const std::size_t warm = eq.poolCapacity();
+    EXPECT_GE(warm, 1000u);
+    eq.run();
+
+    // Same load again after draining: every record comes from the
+    // free list, the pool must not grow.
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        eq.schedule(i, EventKind::DriverTick, &h, tagged(i));
+    eq.run();
+    EXPECT_EQ(eq.poolCapacity(), warm);
+    EXPECT_EQ(log.size(), 2000u);
+}
+
+TEST(EventQueue, SamplerDoesNotPerturbDispatch)
+{
+    // The sampling hook is observation-only: an identical workload run
+    // with and without a sampler must produce a bit-identical firing
+    // sequence and final clock.
+    auto runWorkload = [](EventQueue &eq,
+                          std::vector<std::pair<SimTime, int>> &log) {
+        cubessd::Rng rng(7);
+        std::function<void(int, int)> actor = [&](int id, int left) {
+            log.emplace_back(eq.now(), id);
+            if (left > 0) {
+                const SimTime d = 1 + rng.uniformInt(777);
+                eq.schedule(d, [&actor, id, left] {
+                    actor(id, left - 1);
+                });
+            }
+        };
+        for (int id = 0; id < 4; ++id) {
+            eq.schedule(static_cast<SimTime>(id),
+                        [&actor, id] { actor(id, 200); });
+        }
+        eq.run();
+    };
+
+    std::vector<std::pair<SimTime, int>> plain;
+    SimTime plainEnd = 0;
+    {
+        EventQueue eq;
+        runWorkload(eq, plain);
+        plainEnd = eq.now();
+    }
+
+    std::vector<std::pair<SimTime, int>> sampled;
+    std::vector<SimTime> sampleTimes;
+    SimTime sampledEnd = 0;
+    {
+        EventQueue eq;
+        eq.setSampler(100, [&sampleTimes](SimTime t) {
+            sampleTimes.push_back(t);
+        });
+        runWorkload(eq, sampled);
+        sampledEnd = eq.now();
+    }
+
+    EXPECT_EQ(plain, sampled);
+    EXPECT_EQ(plainEnd, sampledEnd);
+    ASSERT_FALSE(sampleTimes.empty());
+    for (std::size_t i = 0; i < sampleTimes.size(); ++i) {
+        EXPECT_EQ(sampleTimes[i] % 100, 0u);
+        if (i > 0) {
+            EXPECT_LT(sampleTimes[i - 1], sampleTimes[i]);
+        }
+    }
 }
 
 }  // namespace

@@ -10,6 +10,14 @@
 namespace cubessd::ssd {
 namespace {
 
+std::vector<BufferEntry>
+popOldest(WriteBuffer &buf, std::uint32_t n)
+{
+    std::vector<BufferEntry> out;
+    buf.popOldest(n, out);
+    return out;
+}
+
 TEST(WriteBuffer, InsertLookup)
 {
     WriteBuffer buf(4);
@@ -53,7 +61,7 @@ TEST(WriteBuffer, PopOldestIsFifo)
     WriteBuffer buf(8);
     for (Lba l = 0; l < 5; ++l)
         buf.insert(l, 100 + l, l + 1);
-    const auto popped = buf.popOldest(3);
+    const auto popped = popOldest(buf, 3);
     ASSERT_EQ(popped.size(), 3u);
     EXPECT_EQ(popped[0].lba, 0u);
     EXPECT_EQ(popped[1].lba, 1u);
@@ -67,7 +75,7 @@ TEST(WriteBuffer, PopMoreThanAvailable)
 {
     WriteBuffer buf(8);
     buf.insert(1, 1, 1);
-    const auto popped = buf.popOldest(5);
+    const auto popped = popOldest(buf, 5);
     EXPECT_EQ(popped.size(), 1u);
     EXPECT_TRUE(buf.empty());
 }
@@ -78,7 +86,7 @@ TEST(WriteBuffer, CoalesceDoesNotChangeFifoPosition)
     buf.insert(1, 1, 1);
     buf.insert(2, 2, 2);
     buf.insert(1, 11, 3);  // rewrite of the oldest entry
-    const auto popped = buf.popOldest(1);
+    const auto popped = popOldest(buf, 1);
     ASSERT_EQ(popped.size(), 1u);
     EXPECT_EQ(popped[0].lba, 1u);
     EXPECT_EQ(popped[0].token, 11u);

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Gate a perf_events run against the tracked baseline.
+
+Compares the events/s of each measured path in a BENCH_perf.json
+produced by build/bench/perf_events against bench/perf_baseline.json
+and fails (exit 1) when any path regresses by more than the tolerance.
+
+Faster-than-baseline results never fail; they print a hint to re-pin
+the baseline when the improvement is large enough to look intentional.
+
+Usage:
+    python3 tools/perf_gate.py BENCH_perf.json [--baseline FILE]
+                               [--tolerance 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+PATHS = ("micro", "workload")
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"perf_gate: cannot read {path}: {e}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("result", help="BENCH_perf.json from perf_events")
+    parser.add_argument(
+        "--baseline",
+        default="bench/perf_baseline.json",
+        help="tracked baseline (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional regression (default: %(default)s)",
+    )
+    args = parser.parse_args()
+
+    result = load(args.result)
+    baseline = load(args.baseline)
+
+    failed = False
+    for path in PATHS:
+        try:
+            got = float(result[path]["events_per_s"])
+            want = float(baseline[path]["events_per_s"])
+        except (KeyError, TypeError, ValueError):
+            sys.exit(f"perf_gate: missing {path}.events_per_s in input")
+        floor = want * (1.0 - args.tolerance)
+        ratio = got / want if want > 0 else float("inf")
+        verdict = "OK"
+        if got < floor:
+            verdict = "REGRESSION"
+            failed = True
+        elif ratio > 1.0 + args.tolerance:
+            verdict = "OK (faster than baseline -- consider re-pinning)"
+        print(
+            f"perf_gate: {path:9s} {got:14,.0f} events/s"
+            f"  baseline {want:14,.0f}  ({ratio:6.2%})  {verdict}"
+        )
+
+    if failed:
+        print(
+            f"perf_gate: FAIL -- events/s fell more than "
+            f"{args.tolerance:.0%} below bench/perf_baseline.json. "
+            "If the slowdown is intentional, re-pin the baseline "
+            "(median of >=5 runs) in the same change.",
+            file=sys.stderr,
+        )
+        return 1
+    print("perf_gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
