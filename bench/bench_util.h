@@ -14,7 +14,12 @@
  * The figure benches additionally write their series to a silent
  * BENCH_<figure>.json sidecar in the working directory, so CI can
  * archive machine-readable results without perturbing the quoted
- * stdout.
+ * stdout. Sidecars are written once, from the main thread, after the
+ * deterministic merge — never from sweep workers.
+ *
+ * The system-level sweeps (fig17, fig18) accept `--jobs <n>` (or
+ * CUBESSD_JOBS=<n>) to farm independent cells onto worker threads;
+ * stdout and sidecars are bit-identical for any job count.
  */
 
 #ifndef CUBESSD_BENCH_BENCH_UTIL_H
@@ -26,19 +31,27 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/cubessd.h"
+#include "src/sim/sweep.h"
+#include "src/workload/sweep.h"
 
 namespace cubessd::bench {
 
 /**
  * Optional tracing for the system-level benches. Parsed from argv
  * (`--trace-out <file> [--sample-interval-us <n>]`) by the benches'
- * main(); when set, runWorkload records the FIRST evaluation run into
- * a Chrome trace file. Only the first run is traced: the benches
- * repeat runs across seeds/FTLs and one representative timeline is
- * what a reader wants to open in Perfetto. The quoted stdout and the
- * JSON sidecars are unaffected either way.
+ * main(); when set, the FIRST evaluation cell is recorded into a
+ * Chrome trace file. Only that one cell is traced: the benches repeat
+ * runs across seeds/FTLs and one representative timeline is what a
+ * reader wants to open in Perfetto — and under `--jobs N` two cells
+ * must never race on the same trace file (workload::runCells enforces
+ * the exactly-one rule with an atomic claim). The quoted stdout and
+ * the JSON sidecars are unaffected either way.
+ *
+ * These options are written once by main() before any worker thread
+ * exists and are read-only afterwards; keep it that way.
  */
 struct TraceOptions
 {
@@ -53,8 +66,25 @@ traceOptions()
     return options;
 }
 
+/** `--jobs N` from the command line (0 = not given). Set once by
+ *  main() before any sweep starts. */
+inline unsigned &
+cliJobs()
+{
+    static unsigned jobs = 0;
+    return jobs;
+}
+
+/** Sweep worker threads: `--jobs N` wins, else CUBESSD_JOBS, else 1.
+ *  Output is bit-identical whatever the value (deterministic merge). */
+inline unsigned
+jobs()
+{
+    return sim::resolveJobs(cliJobs(), "CUBESSD_JOBS");
+}
+
 inline void
-parseTraceOptions(int argc, char **argv)
+parseBenchOptions(int argc, char **argv)
 {
     auto &options = traceOptions();
     for (int i = 1; i < argc; ++i) {
@@ -68,9 +98,12 @@ parseTraceOptions(int argc, char **argv)
         else if (std::strcmp(argv[i], "--sample-interval-us") == 0)
             options.sampleIntervalUs =
                 static_cast<std::uint64_t>(std::atoll(value()));
+        else if (std::strcmp(argv[i], "--jobs") == 0)
+            cliJobs() = static_cast<unsigned>(std::atoi(value()));
         else
             fatal("unknown option '%s' (benches accept --trace-out "
-                  "<file> and --sample-interval-us <n>)", argv[i]);
+                  "<file>, --sample-interval-us <n>, and --jobs <n>)",
+                  argv[i]);
     }
 }
 
@@ -136,69 +169,50 @@ chipConfig(std::uint64_t seed = 1)
 }
 
 /**
- * One evaluation run: pre-cycle, prefill, bake, measure — the paper's
- * experimental procedure (Sec. 6.1: the rig pre-cycles blocks, writes,
- * then bakes for the retention time).
+ * One cell of an evaluation sweep: pre-cycle, prefill, bake, measure —
+ * the paper's experimental procedure (Sec. 6.1: the rig pre-cycles
+ * blocks, writes, then bakes for the retention time). Executed by
+ * workload::runCells.
  */
-inline workload::RunResult
-runWorkload(ssd::FtlKind kind, const workload::WorkloadSpec &spec,
-            const nand::AgingState &aging, std::uint64_t seed,
-            std::uint64_t requests, ftl::FtlStats *statsOut = nullptr)
+inline workload::SweepCell
+makeCell(ssd::FtlKind kind, const workload::WorkloadSpec &spec,
+         const nand::AgingState &aging, std::uint64_t seed,
+         std::uint64_t requests)
 {
-    ssd::Ssd dev(ssdConfig(kind, seed));
-    workload::WorkloadGenerator gen(spec, dev.logicalPages(), seed + 7);
-    workload::Driver driver(dev, gen);
-    dev.setAging({aging.peCycles, 0.0});
-    driver.prefill(0.2);
-    dev.setAging(aging);
-
-    // Trace the first measured run when requested (prefill excluded:
-    // its bulk writes would flood the ring buffer).
-    static bool traced = false;
-    std::unique_ptr<trace::TraceSession> traceSession;
-    trace::CounterRegistry counters;
-    if (!traceOptions().out.empty() && !traced) {
-        traced = true;
-        traceSession = std::make_unique<trace::TraceSession>();
-        dev.attachTrace(traceSession.get());
-        if (traceOptions().sampleIntervalUs > 0) {
-            dev.registerCounters(counters);
-            counters.attachTrace(traceSession.get());
-            counters.installSampler(dev.queue(),
-                                    traceOptions().sampleIntervalUs *
-                                        1000);
-        }
-    }
-
-    auto result = driver.run(requests);
-    if (statsOut != nullptr)
-        *statsOut = dev.ftl().stats();
-
-    if (traceSession) {
-        std::ofstream traceFile(traceOptions().out);
-        if (!traceFile)
-            fatal("cannot open trace file '%s'",
-                  traceOptions().out.c_str());
-        traceSession->writeJson(traceFile);
-        std::cerr << "trace written to " << traceOptions().out << " ("
-                  << traceSession->recorded() << " events recorded, "
-                  << traceSession->dropped() << " dropped)\n";
-    }
-    return result;
+    workload::SweepCell cell;
+    cell.config = ssdConfig(kind, seed);
+    cell.spec = spec;
+    cell.aging = aging;
+    cell.requests = requests;
+    return cell;
 }
 
-/** Mean IOPS over several seeds (burst pacing is stochastic); smoke
- *  runs keep only the first two seeds. */
-inline double
-meanIops(ssd::FtlKind kind, const workload::WorkloadSpec &spec,
-         const nand::AgingState &aging, std::uint64_t requests)
+/**
+ * Run a bench's whole cell grid across jobs() worker threads; results
+ * come back in cell order, so callers aggregate and print exactly as
+ * the old sequential loops did — stdout and sidecars are bit-identical
+ * whatever the job count. Cell 0 is the traced cell when --trace-out
+ * is set (the same cell the sequential benches always traced).
+ */
+inline std::vector<workload::CellResult>
+runSweep(const std::vector<workload::SweepCell> &cells)
 {
-    double sum = 0.0;
-    const std::uint64_t seeds[] = {42, 137, 999, 7, 2026};
-    const std::size_t count = smokeScale() ? 2 : std::size(seeds);
-    for (std::size_t i = 0; i < count; ++i)
-        sum += runWorkload(kind, spec, aging, seeds[i], requests).iops;
-    return sum / static_cast<double>(count);
+    workload::SweepTrace trace;
+    trace.out = traceOptions().out;
+    trace.sampleIntervalUs = traceOptions().sampleIntervalUs;
+    trace.cell = 0;
+    return workload::runCells(cells, jobs(), trace);
+}
+
+/** Evaluation seeds (burst pacing is stochastic, so IOPS figures are
+ *  means over these); smoke runs keep only the first two. */
+inline std::vector<std::uint64_t>
+benchSeeds()
+{
+    const std::vector<std::uint64_t> seeds = {42, 137, 999, 7, 2026};
+    if (smokeScale())
+        return {seeds.begin(), seeds.begin() + 2};
+    return seeds;
 }
 
 inline const char *

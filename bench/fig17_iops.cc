@@ -14,18 +14,27 @@
  *
  * IOPS values are means over three seeds (burst pacing is
  * stochastic). Runs use the scaled device unless CUBESSD_FULL=1.
+ *
+ * The full grid (3 agings x 6 workloads x 3 FTLs x seeds) is
+ * embarrassingly parallel: every cell owns its RNG and SSD state, so
+ * `--jobs N` (or CUBESSD_JOBS=N) farms cells onto worker threads.
+ * Results are merged on the main thread in cell order — stdout and
+ * the JSON sidecar are bit-identical for any job count.
  */
 
+#include <exception>
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.h"
 
 using namespace cubessd;
 
+namespace {
+
 int
-main(int argc, char **argv)
+runBench()
 {
-    bench::parseTraceOptions(argc, argv);
     std::cout << "=== Fig. 17: normalized IOPS under six workloads ===\n"
               << (bench::fullScale()
                       ? "(full-scale 32 GB configuration)\n"
@@ -35,6 +44,34 @@ main(int argc, char **argv)
     const std::uint64_t requests = bench::benchRequests(30000);
     const nand::AgingState agings[] = {
         {0, 0.0}, {2000, 1.0}, {2000, 12.0}};
+    const ssd::FtlKind kinds[] = {
+        ssd::FtlKind::Page, ssd::FtlKind::Vert, ssd::FtlKind::Cube};
+    const auto workloads = workload::allWorkloads();
+    const auto seeds = bench::benchSeeds();
+
+    // Build the whole grid, aging-major / workload / FTL / seed —
+    // the exact nesting the sequential loops below read back, so the
+    // merged means are computed in the same floating-point order the
+    // strictly sequential bench always used.
+    std::vector<workload::SweepCell> cells;
+    for (const auto &aging : agings)
+        for (const auto &spec : workloads)
+            for (const auto kind : kinds)
+                for (const auto seed : seeds)
+                    cells.push_back(bench::makeCell(kind, spec, aging,
+                                                    seed, requests));
+    const auto results = bench::runSweep(cells);
+
+    // Deterministic merge: walk results in cell order on this (the
+    // main) thread; the seed-mean of each (aging, workload, FTL) cell
+    // group reduces in seed order.
+    std::size_t next = 0;
+    auto meanIops = [&]() {
+        double sum = 0.0;
+        for (std::size_t s = 0; s < seeds.size(); ++s)
+            sum += results[next++].run.iops;
+        return sum / static_cast<double>(seeds.size());
+    };
 
     double bestCubeGainFresh = 0.0;
     std::string bestWorkloadFresh;
@@ -63,16 +100,10 @@ main(int argc, char **argv)
         json.beginArray();
         metrics::Table table({"workload", "pageFTL (IOPS)", "vertFTL",
                               "cubeFTL", "vert/page", "cube/page"});
-        for (const auto &spec : workload::allWorkloads()) {
-            const double page =
-                bench::meanIops(ssd::FtlKind::Page, spec, aging,
-                                requests);
-            const double vert =
-                bench::meanIops(ssd::FtlKind::Vert, spec, aging,
-                                requests);
-            const double cube =
-                bench::meanIops(ssd::FtlKind::Cube, spec, aging,
-                                requests);
+        for (const auto &spec : workloads) {
+            const double page = meanIops();
+            const double vert = meanIops();
+            const double cube = meanIops();
             table.row({spec.name, metrics::format(page, 0),
                        metrics::format(vert, 0),
                        metrics::format(cube, 0),
@@ -127,4 +158,21 @@ main(int argc, char **argv)
                 "; see table (c)");
     cmp.print(std::cout);
     return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::parseBenchOptions(argc, argv);
+    try {
+        return runBench();
+    } catch (const std::exception &e) {
+        // Worker errors propagate here (annotated with the failing
+        // cell) instead of exit()ing mid-sweep; the sidecar is only
+        // written after a fully successful merge.
+        std::cerr << "fig17_iops: " << e.what() << '\n';
+        return 1;
+    }
 }

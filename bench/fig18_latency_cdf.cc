@@ -11,17 +11,20 @@
  * often blocked behind slow programs.
  */
 
+#include <exception>
 #include <iostream>
 #include <map>
+#include <vector>
 
 #include "bench/bench_util.h"
 
 using namespace cubessd;
 
+namespace {
+
 int
-main(int argc, char **argv)
+runBench()
 {
-    bench::parseTraceOptions(argc, argv);
     std::cout << "=== Fig. 18: latency CDFs, Rocks @ fresh ===\n";
     // The paper's latency experiment runs at moderate load: commit
     // bursts overflow the write buffer (so writes genuinely wait for
@@ -38,10 +41,18 @@ main(int argc, char **argv)
         ssd::FtlKind::Page, ssd::FtlKind::Vert, ssd::FtlKind::CubeMinus,
         ssd::FtlKind::Cube};
 
-    std::map<ssd::FtlKind, workload::RunResult> results;
+    // One cell per FTL; `--jobs N` runs them concurrently, and the
+    // cell-order results below make the output independent of which
+    // finished first. Cell 0 (pageFTL) is the traced cell, matching
+    // the sequential bench's first-run-traced behaviour.
+    std::vector<workload::SweepCell> cells;
     for (const auto kind : kinds)
-        results[kind] =
-            bench::runWorkload(kind, spec, fresh, 42, requests);
+        cells.push_back(bench::makeCell(kind, spec, fresh, 42, requests));
+    const auto cellResults = bench::runSweep(cells);
+
+    std::map<ssd::FtlKind, workload::RunResult> results;
+    for (std::size_t i = 0; i < std::size(kinds); ++i)
+        results[kinds[i]] = cellResults[i].run;
 
     // Machine-readable sidecar for CI artifacts; stdout is unchanged.
     // Per FTL: full latency summaries (incl. p99.9), the per-phase
@@ -133,4 +144,18 @@ main(int argc, char **argv)
                 : "NO");
     cmp.print(std::cout);
     return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::parseBenchOptions(argc, argv);
+    try {
+        return runBench();
+    } catch (const std::exception &e) {
+        std::cerr << "fig18_latency_cdf: " << e.what() << '\n';
+        return 1;
+    }
 }

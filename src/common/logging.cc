@@ -1,5 +1,6 @@
 #include "src/common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -7,7 +8,10 @@ namespace cubessd {
 
 namespace {
 
-LogLevel g_level = LogLevel::Warn;
+// Atomic: parallel sweep cells log concurrently, and the threshold
+// may be flipped while workers run. Relaxed ordering suffices — the
+// threshold is an independent filter, not a synchronization point.
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 
 const char *
 levelName(LogLevel level)
@@ -34,19 +38,20 @@ vlogTo(std::FILE *out, const char *tag, const char *fmt, std::va_list args)
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 logf(LogLevel level, const char *fmt, ...)
 {
-    if (static_cast<int>(level) < static_cast<int>(g_level))
+    if (static_cast<int>(level) <
+        static_cast<int>(g_level.load(std::memory_order_relaxed)))
         return;
     std::va_list args;
     va_start(args, fmt);

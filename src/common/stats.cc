@@ -111,6 +111,15 @@ LatencyRecorder::add(double value)
     sorted_ = false;
 }
 
+void
+LatencyRecorder::merge(const LatencyRecorder &other)
+{
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    if (!other.samples_.empty())
+        sorted_ = false;
+}
+
 double
 LatencyRecorder::mean() const
 {

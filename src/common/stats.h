@@ -88,6 +88,10 @@ class LatencyRecorder
     void add(double value);
     void reserve(std::size_t n) { samples_.reserve(n); }
 
+    /** Append another recorder's samples (multi-seed aggregation).
+     *  Percentiles over the union are order-independent. */
+    void merge(const LatencyRecorder &other);
+
     std::size_t count() const { return samples_.size(); }
     double mean() const;
 

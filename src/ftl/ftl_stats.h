@@ -45,6 +45,37 @@ struct FtlStats
     /** @} */
     SimTime programLatencySum = 0;      ///< device tPROG over all programs
 
+    /** Sum another device's counters in (multi-seed sweep merge). */
+    void
+    merge(const FtlStats &o)
+    {
+        hostReadPages += o.hostReadPages;
+        hostWritePages += o.hostWritePages;
+        bufferHits += o.bufferHits;
+        unmappedReads += o.unmappedReads;
+        nandReads += o.nandReads;
+        hostPrograms += o.hostPrograms;
+        gcPrograms += o.gcPrograms;
+        leaderPrograms += o.leaderPrograms;
+        followerPrograms += o.followerPrograms;
+        gcCollections += o.gcCollections;
+        gcRelocatedPages += o.gcRelocatedPages;
+        erases += o.erases;
+        safetyReprograms += o.safetyReprograms;
+        readRetries += o.readRetries;
+        uncorrectableReads += o.uncorrectableReads;
+        writeStalls += o.writeStalls;
+        programFailures += o.programFailures;
+        eraseFailures += o.eraseFailures;
+        retiredBlocks += o.retiredBlocks;
+        badBlockRelocations += o.badBlockRelocations;
+        flushReplays += o.flushReplays;
+        flushDeferrals += o.flushDeferrals;
+        readOnlyRejects += o.readOnlyRejects;
+        rejectedRequests += o.rejectedRequests;
+        programLatencySum += o.programLatencySum;
+    }
+
     double
     writeAmplification() const
     {

@@ -57,6 +57,18 @@ struct GcStats
     std::uint64_t programs = 0;       ///< WL programs issued for GC
     SimTime programLatencySum = 0;    ///< device tPROG over GC programs
 
+    /** Sum another device's counters in (multi-seed sweep merge). */
+    void
+    merge(const GcStats &o)
+    {
+        collections += o.collections;
+        relocatedPages += o.relocatedPages;
+        erases += o.erases;
+        scanReads += o.scanReads;
+        programs += o.programs;
+        programLatencySum += o.programLatencySum;
+    }
+
     /** Mean GC-induced WL program latency in microseconds. */
     double
     avgProgramLatencyUs() const

@@ -1,0 +1,107 @@
+#include "src/sim/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace cubessd::sim {
+
+namespace {
+
+/**
+ * Rethrow the lowest-index stored failure, if any, as a SweepError.
+ * A job that already threw SweepError (e.g. a nested annotated error)
+ * is passed through unchanged.
+ */
+void
+rethrowLowest(const std::vector<std::exception_ptr> &errors)
+{
+    for (std::size_t i = 0; i < errors.size(); ++i) {
+        if (!errors[i])
+            continue;
+        try {
+            std::rethrow_exception(errors[i]);
+        } catch (const SweepError &) {
+            throw;
+        } catch (const std::exception &e) {
+            throw SweepError(i, e.what());
+        } catch (...) {
+            throw SweepError(i, "unknown error");
+        }
+    }
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(unsigned jobs) : jobs_(jobs == 0 ? 1 : jobs) {}
+
+void
+SweepRunner::run(std::size_t count,
+                 const std::function<void(std::size_t)> &job)
+{
+    if (count == 0)
+        return;
+
+    std::vector<std::exception_ptr> errors(count);
+
+    if (jobs_ <= 1 || count == 1) {
+        // Reference path: plain sequential loop, no threads. Failures
+        // are still collected (not thrown mid-loop) so the surviving
+        // jobs run and the reported error matches the parallel path.
+        for (std::size_t i = 0; i < count; ++i) {
+            try {
+                job(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+        rethrowLowest(errors);
+        return;
+    }
+
+    std::atomic<std::size_t> cursor{0};
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                job(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    const std::size_t threads =
+        std::min<std::size_t>(jobs_, count);
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+
+    rethrowLowest(errors);
+}
+
+unsigned
+resolveJobs(unsigned cliJobs, const char *envVar)
+{
+    if (cliJobs > 0)
+        return cliJobs;
+    if (envVar != nullptr) {
+        if (const char *env = std::getenv(envVar)) {
+            const long parsed = std::strtol(env, nullptr, 10);
+            if (parsed > 0)
+                return static_cast<unsigned>(parsed);
+        }
+    }
+    return 1;
+}
+
+}  // namespace cubessd::sim

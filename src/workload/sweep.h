@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Cell-level sweep driver: run a grid of independent simulation cells
+ * — each an (SsdConfig incl. FTL + seed, workload, aging, request
+ * count) tuple — across a sim::SweepRunner worker pool and hand the
+ * per-cell results back IN CELL ORDER.
+ *
+ * Determinism contract (the reason `--jobs N` output is bit-identical
+ * to `--jobs 1`):
+ *
+ *  1. Every cell builds its own Ssd, WorkloadGenerator, and Driver
+ *     from its own seed; no mutable state is shared between cells.
+ *  2. Results land in a slot indexed by the cell's grid position, not
+ *     by completion order.
+ *  3. All merging/aggregation (histogram merges, IOPS means, JSON
+ *     sidecars) happens on the calling thread after runCells returns,
+ *     walking the slots in cell order.
+ *
+ * Error handling: cell configurations are validated on the calling
+ * thread BEFORE any worker spawns (the only place fatal() is
+ * appropriate); an error inside a running cell (e.g. an unwritable
+ * trace file) is caught, annotated with the cell's configuration, and
+ * rethrown on the calling thread as sim::SweepError after all other
+ * cells finish — a worker never calls exit() and never truncates
+ * another cell's output.
+ *
+ * Tracing: at most ONE cell of a sweep records a trace (a sweep
+ * produces one representative timeline, and two cells must never race
+ * on the same trace file). SweepTrace names that cell explicitly; an
+ * atomic claim enforces the exactly-one rule even if a future caller
+ * passes duplicate indices.
+ */
+
+#ifndef CUBESSD_WORKLOAD_SWEEP_H
+#define CUBESSD_WORKLOAD_SWEEP_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ftl/ftl_stats.h"
+#include "src/ftl/gc.h"
+#include "src/nand/error_model.h"
+#include "src/ssd/config.h"
+#include "src/workload/driver.h"
+#include "src/workload/workload.h"
+
+namespace cubessd::workload {
+
+/** One independent simulation cell of a sweep grid. */
+struct SweepCell
+{
+    /** Device configuration; `config.ftl` and `config.seed` select
+     *  the cell's FTL and RNG streams. */
+    ssd::SsdConfig config;
+    WorkloadSpec spec;
+    nand::AgingState aging{};
+    /** Measured requests after prefill. */
+    std::uint64_t requests = 0;
+    /** Random-overwrite fraction of the prefill (Driver::prefill). */
+    double prefillOverwrite = 0.2;
+
+    /** "cell N (ftl=cube, workload=OLTP, pe=2000, ...)" for errors. */
+    std::string describe(std::size_t index) const;
+};
+
+/** Everything one cell produced, captured before its Ssd dies. */
+struct CellResult
+{
+    RunResult run;
+    ftl::FtlStats ftl;
+    ftl::GcStats gc;
+    bool readOnly = false;
+};
+
+/** Optional tracing of exactly one cell of a sweep. */
+struct SweepTrace
+{
+    std::string out;                    ///< empty = no tracing
+    std::uint64_t sampleIntervalUs = 1000;  ///< 0 = no counter samples
+    std::size_t cell = 0;               ///< which cell records
+};
+
+/**
+ * Run every cell (prefill + measured run), farming cells onto `jobs`
+ * worker threads (1 = inline on the calling thread), and return the
+ * results in cell order. See the file comment for the determinism and
+ * error contracts.
+ */
+std::vector<CellResult>
+runCells(const std::vector<SweepCell> &cells, unsigned jobs,
+         const SweepTrace &trace = {});
+
+}  // namespace cubessd::workload
+
+#endif  // CUBESSD_WORKLOAD_SWEEP_H

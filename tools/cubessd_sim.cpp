@@ -13,13 +13,17 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/cubessd.h"
 #include "src/ftl/cube_ftl.h"
+#include "src/sim/sweep.h"
+#include "src/workload/sweep.h"
 
 using namespace cubessd;
 
@@ -34,6 +38,8 @@ struct Options
     std::uint32_t blocks = 128;
     std::uint64_t requests = 30000;
     std::uint64_t seed = 42;
+    std::uint64_t seedCount = 1;
+    unsigned jobs = 0;
     double prefillOverwrite = 0.2;
     std::uint32_t qd = 0;
     bool verbose = false;
@@ -62,6 +68,18 @@ usage()
         "                                 the paper's device uses 428)\n"
         "  --requests <n>                 measured requests (default 30000)\n"
         "  --seed <n>                     simulation seed (default 42)\n"
+        "  --seeds <n>                    run n independent seeds\n"
+        "                                 (seed..seed+n-1) and report the\n"
+        "                                 merged result: mean IOPS, merged\n"
+        "                                 latency percentiles, summed FTL\n"
+        "                                 counters (default 1)\n"
+        "  --jobs <n>                     worker threads for a --seeds\n"
+        "                                 sweep (default 1, or the\n"
+        "                                 CUBESSD_JOBS environment\n"
+        "                                 variable); results are merged\n"
+        "                                 deterministically in seed order,\n"
+        "                                 so output is bit-identical for\n"
+        "                                 any job count\n"
         "  --prefill-overwrite <frac>     random-overwrite fraction of the\n"
         "                                 working set before measuring\n"
         "                                 (default 0.2)\n"
@@ -158,6 +176,11 @@ parseArgs(int argc, char **argv)
                 static_cast<std::uint64_t>(std::atoll(value()));
         } else if (arg == "--seed") {
             opt.seed = static_cast<std::uint64_t>(std::atoll(value()));
+        } else if (arg == "--seeds") {
+            opt.seedCount =
+                static_cast<std::uint64_t>(std::atoll(value()));
+        } else if (arg == "--jobs") {
+            opt.jobs = static_cast<unsigned>(std::atoi(value()));
         } else if (arg == "--prefill-overwrite") {
             opt.prefillOverwrite = std::atof(value());
         } else if (arg == "--qd") {
@@ -300,6 +323,200 @@ writeMetricsFile(const std::string &path, const Options &opt,
     out << '\n';
 }
 
+/**
+ * Write the merged metrics of a --seeds sweep as a single JSON
+ * document: the run configuration, one summary object per seed (in
+ * seed order), the merged per-IoType latency/phase histograms, and
+ * the summed FTL/GC counters. Written once, from the main thread,
+ * after the deterministic merge — never from sweep workers.
+ */
+void
+writeSweepMetricsFile(const std::string &path, const Options &opt,
+                      const std::vector<workload::SweepCell> &cells,
+                      const std::vector<workload::CellResult> &results,
+                      const metrics::RequestMetrics &mergedRequests,
+                      const ftl::FtlStats &mergedFtl,
+                      const ftl::GcStats &mergedGc)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open metrics file '%s'", path.c_str());
+
+    metrics::JsonWriter w(out);
+    w.beginObject();
+
+    w.key("config");
+    w.beginObject();
+    w.field("ftl", opt.ftl);
+    w.field("workload", opt.workload);
+    w.field("pe_cycles", static_cast<std::uint64_t>(opt.pe));
+    w.field("retention_months", opt.retentionMonths);
+    w.field("blocks_per_chip", static_cast<std::uint64_t>(opt.blocks));
+    w.field("requests", opt.requests);
+    w.field("seed", opt.seed);
+    w.field("seeds", opt.seedCount);
+    // NOTE: the job count is deliberately NOT recorded — the metrics
+    // file must be byte-identical for any --jobs value.
+    w.field("queue_depth", static_cast<std::uint64_t>(opt.qd));
+    w.endObject();
+
+    w.key("cells");
+    w.beginArray();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        w.beginObject();
+        w.field("seed", cells[i].config.seed);
+        w.field("iops", r.run.iops);
+        w.field("elapsed_s", toSeconds(r.run.elapsed));
+        w.field("completed", r.run.completedRequests);
+        w.field("failed", r.run.failedRequests());
+        w.field("read_only", r.readOnly);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("requests");
+    metrics::writeRequestMetrics(w, mergedRequests);
+
+    w.key("ftl");
+    w.beginObject();
+    w.field("host_read_pages", mergedFtl.hostReadPages);
+    w.field("host_write_pages", mergedFtl.hostWritePages);
+    w.field("buffer_hits", mergedFtl.bufferHits);
+    w.field("nand_reads", mergedFtl.nandReads);
+    w.field("host_programs", mergedFtl.hostPrograms);
+    w.field("gc_programs", mergedFtl.gcPrograms);
+    w.field("leader_programs", mergedFtl.leaderPrograms);
+    w.field("follower_programs", mergedFtl.followerPrograms);
+    w.field("read_retries", mergedFtl.readRetries);
+    w.field("safety_reprograms", mergedFtl.safetyReprograms);
+    w.field("write_stalls", mergedFtl.writeStalls);
+    w.field("write_amplification", mergedFtl.writeAmplification());
+    w.field("avg_program_latency_us", mergedFtl.avgProgramLatencyUs());
+    w.endObject();
+
+    w.key("gc");
+    w.beginObject();
+    w.field("collections", mergedGc.collections);
+    w.field("relocated_pages", mergedGc.relocatedPages);
+    w.field("erases", mergedGc.erases);
+    w.field("scan_reads", mergedGc.scanReads);
+    w.field("programs", mergedGc.programs);
+    w.field("avg_program_latency_us", mergedGc.avgProgramLatencyUs());
+    w.endObject();
+
+    w.endObject();
+    out << '\n';
+}
+
+/**
+ * --seeds N mode: N independent cells of the same configuration at
+ * consecutive seeds, farmed onto --jobs worker threads, merged
+ * deterministically in seed order on the main thread.
+ */
+int
+runSeedSweep(const Options &opt, const ssd::SsdConfig &config,
+             const workload::WorkloadSpec &spec)
+{
+    const unsigned jobs = sim::resolveJobs(opt.jobs, "CUBESSD_JOBS");
+
+    std::vector<workload::SweepCell> cells;
+    for (std::uint64_t s = 0; s < opt.seedCount; ++s) {
+        workload::SweepCell cell;
+        cell.config = config;
+        cell.config.seed = opt.seed + s;
+        cell.spec = spec;
+        cell.aging = {opt.pe, opt.retentionMonths};
+        cell.requests = opt.requests;
+        cell.prefillOverwrite = opt.prefillOverwrite;
+        cells.push_back(cell);
+    }
+
+    workload::SweepTrace trace;
+    trace.out = opt.traceOut;
+    trace.sampleIntervalUs =
+        opt.sampleIntervalSet ? opt.sampleIntervalUs
+                              : (opt.traceOut.empty() ? 0 : 1000);
+    trace.cell = 0;
+
+    std::cout << "device: " << config.totalChips() << " chips x "
+              << opt.blocks << " blocks ("
+              << config.logicalPages() *
+                     config.chip.geometry.pageSizeBytes / kGiB
+              << " GiB logical), FTL " << ssd::ftlKindName(config.ftl)
+              << "\nworkload: " << spec.name << " @ " << opt.pe
+              << " P/E + " << opt.retentionMonths
+              << " months retention\nsweep: " << opt.seedCount
+              << " seeds (" << opt.seed << ".." << opt.seed +
+                     opt.seedCount - 1 << "), " << jobs << " worker"
+              << (jobs == 1 ? "" : "s") << "\nrunning " << opt.seedCount
+              << " x " << opt.requests << " requests..." << std::flush;
+
+    const auto results = workload::runCells(cells, jobs, trace);
+    std::cout << " done\n\n";
+
+    // Deterministic merge, strictly in seed (cell) order.
+    double iopsSum = 0.0;
+    double iopsMin = 0.0, iopsMax = 0.0;
+    std::uint64_t completed = 0, failed = 0;
+    LatencyRecorder readUs, writeUs;
+    metrics::RequestMetrics requests;
+    ftl::FtlStats ftlStats;
+    ftl::GcStats gcStats;
+    bool anyReadOnly = false;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        iopsSum += r.run.iops;
+        iopsMin = i == 0 ? r.run.iops : std::min(iopsMin, r.run.iops);
+        iopsMax = i == 0 ? r.run.iops : std::max(iopsMax, r.run.iops);
+        completed += r.run.completedRequests;
+        failed += r.run.failedRequests();
+        readUs.merge(r.run.readLatencyUs);
+        writeUs.merge(r.run.writeLatencyUs);
+        requests.merge(r.run.requestMetrics);
+        ftlStats.merge(r.ftl);
+        gcStats.merge(r.gc);
+        anyReadOnly = anyReadOnly || r.readOnly;
+    }
+    const double iopsMean =
+        iopsSum / static_cast<double>(results.size());
+
+    metrics::Table table({"metric", "value"});
+    table.row({"mean IOPS", metrics::format(iopsMean, 0)});
+    table.row({"IOPS range", metrics::format(iopsMin, 0) + " - " +
+                                 metrics::format(iopsMax, 0)});
+    table.row({"completed requests", std::to_string(completed)});
+    if (failed > 0 || opt.faults.enabled)
+        table.row({"failed requests", std::to_string(failed)});
+    for (const double p : {50.0, 90.0, 99.0}) {
+        table.row({"write p" + metrics::format(p, 0) + " (ms)",
+                   metrics::format(writeUs.percentile(p) / 1000.0, 3)});
+        table.row({"read p" + metrics::format(p, 0) + " (ms)",
+                   metrics::format(readUs.percentile(p) / 1000.0, 3)});
+    }
+    table.row({"write amplification",
+               metrics::format(ftlStats.writeAmplification(), 2)});
+    table.row({"avg program latency (us)",
+               metrics::format(ftlStats.avgProgramLatencyUs(), 1)});
+    table.row({"leader / follower programs",
+               std::to_string(ftlStats.leaderPrograms) + " / " +
+                   std::to_string(ftlStats.followerPrograms)});
+    table.row({"read retries", std::to_string(ftlStats.readRetries)});
+    if (opt.faults.enabled)
+        table.row({"any seed read-only", anyReadOnly ? "yes" : "no"});
+    table.print(std::cout);
+
+    std::cout << '\n';
+    metrics::gcStatsTable(gcStats).print(std::cout);
+
+    if (!opt.metricsOut.empty()) {
+        writeSweepMetricsFile(opt.metricsOut, opt, cells, results,
+                              requests, ftlStats, gcStats);
+        std::cout << "\nmetrics written to " << opt.metricsOut << '\n';
+    }
+    return 0;
+}
+
 }  // namespace
 
 int
@@ -318,6 +535,24 @@ main(int argc, char **argv)
                   << '\n';
         return 2;
     }
+
+    if (opt.seedCount > 1 && !opt.listCounters) {
+        auto spec = parseWorkload(opt.workload);
+        if (opt.qd > 0) {
+            spec.burstLength = 0;
+            spec.queueDepth = opt.qd;
+        }
+        try {
+            return runSeedSweep(opt, config, spec);
+        } catch (const std::exception &e) {
+            // A failing cell surfaces here (annotated with its
+            // configuration) after the other cells finish; nothing
+            // has been written to --metrics-out at this point.
+            std::cerr << "cubessd_sim: " << e.what() << '\n';
+            return 1;
+        }
+    }
+
     ssd::Ssd dev(config);
 
     if (opt.listCounters) {
