@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Extension bench: multi-tenant QoS under WRR arbitration.
+ *
+ * Not a paper figure — the paper evaluates one workload at a time.
+ * This bench puts the multi-tenant front end on the paper's device: a
+ * latency-sensitive read-hot tenant (weight 3, 500 us SLO) shares the
+ * SSD with a write-heavy noisy neighbour (weight 1, 2 ms SLO), both
+ * paced open-loop at 80% of the device's calibrated closed-loop
+ * capacity, on a mid-life device (2K P/E + 1-month retention).
+ *
+ * The interesting contrast is across FTLs: the victim tenant's tail
+ * (p99/p99.9) and SLO violation count show how much of cubeFTL's
+ * process-similarity win survives when demand does not politely slow
+ * down — open-loop arrivals keep pressure on while pageFTL pays
+ * retry/GC penalties, so the tail gap widens versus the closed-loop
+ * figures (fig17/fig18).
+ *
+ * Output: one per-tenant table per FTL plus a BENCH_ext_multitenant
+ * .json sidecar. Deterministic per seed (tenant streams, arrival
+ * processes and arbitration all draw from fixed RNG streams).
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace cubessd;
+
+namespace {
+
+constexpr double kLoad = 0.8;
+const char *const kTenantList =
+    "A:readhot:w=3:slo=500us,B:writeheavy:w=1:slo=2ms";
+
+workload::MultiTenantResult
+runTenants(ssd::FtlKind kind, std::uint64_t requests)
+{
+    ssd::SsdConfig config = bench::ssdConfig(kind, 42);
+    config.hostQueueDepth = 0;  // the WRR arbiter owns the window
+
+    std::vector<workload::TenantSpec> specs;
+    const std::string err = workload::parseTenantList(kTenantList, &specs);
+    if (!err.empty())
+        fatal("ext_multitenant: %s", err.c_str());
+
+    workload::MultiTenantOptions options;
+    options.openLoop = true;
+    options.load = kLoad;
+    options.calibrationRequests = bench::benchRequests(4000);
+
+    ssd::Ssd dev(config);
+    workload::MultiTenantDriver driver(dev, std::move(specs), options);
+    const nand::AgingState aging{2000, 1.0};
+    dev.setAging({aging.peCycles, 0.0});
+    driver.prefill(0.3);
+    dev.setAging(aging);
+    return driver.run(requests);
+}
+
+double
+pctUs(const metrics::LatencyHistogram &h, double p)
+{
+    return h.percentile(p) / 1000.0;
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::cout << "=== ext: multi-tenant QoS under WRR arbitration ===\n"
+              << (bench::fullScale()
+                      ? "(full-scale 32 GB configuration)\n"
+                      : "(scaled device; set CUBESSD_FULL=1 for the "
+                        "paper's 32 GB configuration)\n");
+
+    const std::uint64_t requests = bench::benchRequests(30000);
+    std::cout << "tenants: " << kTenantList << "\n"
+              << "pacing: open loop at " << kLoad * 100.0
+              << "% of calibrated closed-loop capacity, "
+              << bench::agingName({2000, 1.0}) << "\n";
+
+    auto jsonOut = bench::openBenchJson("ext_multitenant");
+    metrics::JsonWriter json(jsonOut);
+    json.beginObject();
+    json.field("figure", "ext_multitenant");
+    json.field("scale", bench::scaleName());
+    json.field("requests", requests);
+    json.field("tenant_list", kTenantList);
+    json.field("load", kLoad);
+    json.key("ftls");
+    json.beginArray();
+
+    for (const auto kind : {ssd::FtlKind::Page, ssd::FtlKind::Cube}) {
+        const auto result = runTenants(kind, requests);
+
+        std::cout << "\n-- " << ssd::ftlKindName(kind)
+                  << " (calibrated "
+                  << metrics::format(result.calibratedIops, 0)
+                  << " IOPS, offered "
+                  << metrics::format(result.calibratedIops * kLoad, 0)
+                  << ") --\n";
+        metrics::Table table({"tenant", "weight", "IOPS",
+                              "rd p50 (us)", "rd p99 (us)",
+                              "rd p99.9 (us)", "wr p99 (us)", "SLO",
+                              "violations"});
+        for (const auto &tenant : result.tenants) {
+            const auto &read = tenant.metrics.latency(ssd::IoType::Read);
+            const auto &write =
+                tenant.metrics.latency(ssd::IoType::Write);
+            table.row(
+                {tenant.name, std::to_string(tenant.weight),
+                 metrics::format(tenant.iops, 0),
+                 metrics::format(pctUs(read, 50.0), 1),
+                 metrics::format(pctUs(read, 99.0), 1),
+                 metrics::format(pctUs(read, 99.9), 1),
+                 metrics::format(pctUs(write, 99.0), 1),
+                 metrics::format(
+                     static_cast<double>(tenant.sloTarget) / 1000.0, 0) +
+                     " us",
+                 std::to_string(tenant.sloViolations) + " (" +
+                     metrics::format(
+                         tenant.sloViolationFraction() * 100.0, 2) +
+                     "%)"});
+        }
+        table.print(std::cout);
+
+        json.beginObject();
+        json.field("ftl", ssd::ftlKindName(kind));
+        json.field("calibrated_iops", result.calibratedIops);
+        json.field("aggregate_iops", result.iops);
+        json.field("elapsed_s", toSeconds(result.elapsed));
+        json.key("tenants");
+        json.beginArray();
+        for (const auto &tenant : result.tenants) {
+            const auto &read = tenant.metrics.latency(ssd::IoType::Read);
+            const auto &write =
+                tenant.metrics.latency(ssd::IoType::Write);
+            json.beginObject();
+            json.field("name", tenant.name);
+            json.field("weight",
+                       static_cast<std::uint64_t>(tenant.weight));
+            json.field("offered_rate", tenant.offeredRate);
+            json.field("iops", tenant.iops);
+            json.field("read_p50_us", pctUs(read, 50.0));
+            json.field("read_p99_us", pctUs(read, 99.0));
+            json.field("read_p999_us", pctUs(read, 99.9));
+            json.field("write_p99_us", pctUs(write, 99.0));
+            json.field("slo_target_ns", tenant.sloTarget);
+            json.field("slo_violations", tenant.sloViolations);
+            json.field("slo_violation_fraction",
+                       tenant.sloViolationFraction());
+            json.field("dispatched", tenant.arbitration.dispatched);
+            json.field("max_backlog", tenant.arbitration.maxBacklog);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+
+    json.endArray();
+    json.endObject();
+    jsonOut << '\n';
+    std::cout << "\nreadhot's tail under the noisy neighbour is the "
+                 "QoS headline: compare rd p99.9 and violation rates "
+                 "across FTLs\n";
+    return 0;
+}

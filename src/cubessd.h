@@ -10,6 +10,8 @@
  *
  * Typical entry points:
  *  - whole-device simulation: ssd::Ssd + workload::Driver
+ *  - multi-tenant runs: workload::MultiTenantDriver (per-tenant
+ *    submission queues + ssd::WrrArbiter)
  *  - chip-level characterization: nand::NandChip
  *
  * API conventions:
@@ -22,6 +24,16 @@
  *  - Completions never fail silently: every ssd::Completion carries a
  *    ssd::Status (Ok, Uncorrectable, ProgramFailed, ReadOnly,
  *    Rejected); hosts check `c.ok()` instead of assuming success.
+ *  - Submission is typed: production code implements
+ *    ssd::CompletionSink and calls ssd::Ssd::submit(req, &sink, ctx)
+ *    — the single host entry point, one virtual call per completion
+ *    and no closure allocation. One-shot callers use submitSync();
+ *    the closure adapter submitWithCallback() is for tests only.
+ *  - Tenancy is a tag, not a fork of the pipeline: HostRequest carries
+ *    tenant/namespaceId (kNoTenant = untagged single-tenant paths),
+ *    the pipeline threads the tag through to Completion::tenant and
+ *    the trace spans untouched, and all per-tenant accounting
+ *    (workload::MultiTenantDriver, ssd::WrrArbiter) keys off it.
  */
 
 #ifndef CUBESSD_CUBESSD_H
@@ -45,10 +57,13 @@
 #include "src/metrics/request_metrics.h"
 #include "src/nand/chip.h"
 #include "src/sim/event_queue.h"
+#include "src/ssd/arbiter.h"
 #include "src/ssd/ssd.h"
 #include "src/trace/counters.h"
 #include "src/trace/trace.h"
 #include "src/workload/driver.h"
+#include "src/workload/multi_tenant.h"
+#include "src/workload/tenant.h"
 #include "src/workload/trace.h"
 #include "src/workload/workload.h"
 

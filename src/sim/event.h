@@ -47,6 +47,9 @@ enum class EventKind : std::uint8_t
     /** A workload driver thread wakes up to fire its next burst
      *  (target: workload::Driver). */
     DriverTick,
+    /** An open-loop tenant stream reaches its next arrival epoch
+     *  (target: workload::MultiTenantDriver). */
+    TenantArrival,
 };
 
 /**
@@ -96,6 +99,8 @@ union EventPayload
         SimTime arrival;
         std::uint32_t pages;
         std::uint8_t type;     ///< ssd::IoType
+        std::uint16_t tenant;  ///< ssd::TenantId
+        std::uint16_t namespaceId;
     } hostAdmit;
 
     /** EventKind::DriverTick. */
@@ -103,6 +108,12 @@ union EventPayload
     {
         std::uint32_t thread;
     } driverTick;
+
+    /** EventKind::TenantArrival. */
+    struct TenantArrival
+    {
+        std::uint32_t tenant;  ///< tenant stream index (0-based)
+    } tenantArrival;
 
     EventPayload() : raw{} {}
 };

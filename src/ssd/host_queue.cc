@@ -36,14 +36,16 @@ HostQueue::submit(HostRequest req, CompletionSink *sink,
     payload.hostAdmit = {sink, ctx,      req.id, req.lba,
                          req.arrival,
                          req.pages,
-                         static_cast<std::uint8_t>(req.type)};
+                         static_cast<std::uint8_t>(req.type),
+                         req.tenant,
+                         req.namespaceId};
     queue_.scheduleAt(req.arrival, sim::EventKind::HostAdmit, this,
                       payload);
     return req.id;
 }
 
 RequestId
-HostQueue::submit(HostRequest req, CompletionFn done)
+HostQueue::submitWithCallback(HostRequest req, CompletionFn done)
 {
     FnSink *adapter = fnSinks_.acquire();
     adapter->fn = std::move(done);
@@ -73,6 +75,8 @@ HostQueue::onEvent(sim::EventKind, const sim::EventPayload &payload)
     req.lba = a.lba;
     req.pages = a.pages;
     req.arrival = a.arrival;
+    req.tenant = a.tenant;
+    req.namespaceId = a.namespaceId;
     admit(req, static_cast<CompletionSink *>(a.sink), a.sinkCtx);
 }
 
@@ -83,11 +87,23 @@ HostQueue::admit(const HostRequest &req, CompletionSink *sink,
     if (trace_ != nullptr) {
         // One async group per request id, nested begin/end: the outer
         // span is the whole request, queue_wait and device partition
-        // its lifetime.
-        trace_->asyncBegin(
-            "request", requestSpanName(req.type), req.id, queue_.now(),
-            {{"lba", static_cast<std::int64_t>(req.lba)},
-             {"pages", req.pages}});
+        // its lifetime. Tenant-tagged requests carry their stream id
+        // so Perfetto queries can slice the timeline per tenant.
+        if (req.tenant != kNoTenant) {
+            trace_->asyncBegin(
+                "request", requestSpanName(req.type), req.id,
+                queue_.now(),
+                {{"lba", static_cast<std::int64_t>(req.lba)},
+                 {"pages", req.pages},
+                 {"tenant", req.tenant},
+                 {"namespace", req.namespaceId}});
+        } else {
+            trace_->asyncBegin(
+                "request", requestSpanName(req.type), req.id,
+                queue_.now(),
+                {{"lba", static_cast<std::int64_t>(req.lba)},
+                 {"pages", req.pages}});
+        }
         trace_->asyncBegin("request", "queue_wait", req.id,
                            queue_.now());
     }
@@ -117,6 +133,7 @@ HostQueue::start(const HostRequest &req, CompletionSink *sink,
     record->sink = sink;
     record->ctx = ctx;
     record->started = started;
+    record->tenant = req.tenant;
 
     if (req.type == IoType::Read)
         ftl_.hostRead(req, this, reinterpret_cast<std::uint64_t>(record));
@@ -131,6 +148,7 @@ HostQueue::onCompletion(const Completion &completion, std::uint64_t ctx)
     auto *record = reinterpret_cast<Record *>(ctx);
     Completion out = completion;
     out.start = record->started;
+    out.tenant = record->tenant;
     out.phases.queueWait = out.start - out.arrival;
     CompletionSink *sink = record->sink;
     const std::uint64_t downstreamCtx = record->ctx;

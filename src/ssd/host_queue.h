@@ -17,8 +17,9 @@
  * The hot path is allocation-free: admission is a typed event, FTL
  * completions come back through the CompletionSink interface with a
  * pooled per-request record, and the wait line is a flat ring. The
- * std::function submit overload remains for tests and tools (its
- * adapter nodes are pooled, but the closure itself may allocate).
+ * std::function adapter survives as the clearly-named
+ * submitWithCallback() for tests only (its adapter nodes are pooled,
+ * but the closure itself may allocate).
  */
 
 #ifndef CUBESSD_SSD_HOST_QUEUE_H
@@ -86,14 +87,19 @@ class HostQueue final : public sim::EventHandler, public CompletionSink
      * Submit a request. It arrives at max(now, req.arrival), waits for
      * a free slot if the queue is at depth, and the completion is
      * delivered to `sink` (with `ctx` passed back verbatim) with all
-     * three timestamps and the Status filled in.
+     * three timestamps, the Status, and the request's tenant tag
+     * filled in.
      * @return the request id (req.id, or a fresh id if it was 0).
      */
     RequestId submit(HostRequest req, CompletionSink *sink,
                      std::uint64_t ctx = 0);
 
-    /** Closure-callback variant (tests/tools; may allocate). */
-    RequestId submit(HostRequest req, CompletionFn done);
+    /**
+     * Test-only closure adapter over submit(): wraps `done` in a
+     * pooled CompletionSink (the closure itself may allocate).
+     * Production code implements CompletionSink and uses submit().
+     */
+    RequestId submitWithCallback(HostRequest req, CompletionFn done);
 
     std::uint32_t depth() const { return depth_; }
     std::uint64_t inFlight() const { return inFlight_; }
@@ -128,6 +134,7 @@ class HostQueue final : public sim::EventHandler, public CompletionSink
         CompletionSink *sink = nullptr;
         std::uint64_t ctx = 0;
         SimTime started = 0;
+        TenantId tenant = kNoTenant;
     };
 
     /** Pooled adapter carrying a std::function completion. */

@@ -67,7 +67,22 @@ inline Status worseStatus(Status a, Status b)
 /** Identifier assigned by the host queue at submission. */
 using RequestId = std::uint64_t;
 
-/** One host I/O request. */
+/** Identifier of the tenant stream a request belongs to. 0 means
+ *  "untagged" (the single-tenant paths); multi-tenant front ends tag
+ *  requests 1..N. */
+using TenantId = std::uint16_t;
+
+/** Tenant id of requests outside any tenant stream. */
+inline constexpr TenantId kNoTenant = 0;
+
+/**
+ * One host I/O request.
+ *
+ * The layout is designated-initializer friendly — all fields have
+ * defaults and submission-relevant ones come first, so call sites
+ * write `{.type = IoType::Write, .lba = 0, .pages = 8}` and tag
+ * tenancy only when they have it.
+ */
 struct HostRequest
 {
     std::uint64_t id = 0;
@@ -75,6 +90,14 @@ struct HostRequest
     Lba lba = 0;           ///< first logical page
     std::uint32_t pages = 1;
     SimTime arrival = 0;   ///< submission time
+    /** Tenant stream this request belongs to (kNoTenant = untagged).
+     *  Carried through to the Completion and the trace spans;
+     *  per-tenant accounting keys off it. */
+    TenantId tenant = kNoTenant;
+    /** NVMe-style namespace the LBA lives in (0 = the whole device).
+     *  Informational: the LBA is already absolute; the tag records
+     *  which partition of the shared device produced it. */
+    std::uint16_t namespaceId = 0;
 };
 
 /**
@@ -106,6 +129,8 @@ struct Completion
     std::uint64_t id = 0;
     IoType type = IoType::Read;
     std::uint32_t pages = 1;
+    /** Tenant the request was tagged with (kNoTenant = untagged). */
+    TenantId tenant = kNoTenant;
     SimTime arrival = 0;   ///< submitted to the host queue
     SimTime start = 0;     ///< dispatched into the FTL (HostQueue)
     SimTime finish = 0;

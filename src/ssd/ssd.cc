@@ -141,26 +141,47 @@ Ssd::setAging(const nand::AgingState &aging)
 }
 
 RequestId
-Ssd::submit(HostRequest req,
-            std::function<void(const Completion &)> done)
+Ssd::submit(HostRequest req, CompletionSink *sink, std::uint64_t ctx)
 {
-    return hostQueue_->submit(std::move(req), std::move(done));
+    return hostQueue_->submit(std::move(req), sink, ctx);
 }
+
+RequestId
+Ssd::submitWithCallback(HostRequest req,
+                        std::function<void(const Completion &)> done)
+{
+    return hostQueue_->submitWithCallback(std::move(req),
+                                          std::move(done));
+}
+
+namespace {
+
+/** Stack-local sink for submitSync: captures the one completion. */
+struct SyncSink final : CompletionSink
+{
+    Completion result{};
+    bool finished = false;
+
+    void
+    onCompletion(const Completion &completion, std::uint64_t) override
+    {
+        result = completion;
+        finished = true;
+    }
+};
+
+}  // namespace
 
 Completion
 Ssd::submitSync(HostRequest req)
 {
-    Completion result;
-    bool finished = false;
-    submit(std::move(req), [&](const Completion &c) {
-        result = c;
-        finished = true;
-    });
-    while (!finished && queue_.step()) {
+    SyncSink sink;
+    submit(std::move(req), &sink);
+    while (!sink.finished && queue_.step()) {
     }
-    if (!finished)
+    if (!sink.finished)
         panic("Ssd::submitSync: request never completed");
-    return result;
+    return sink.result;
 }
 
 void

@@ -3,18 +3,21 @@
  * The assembled SSD: event queue, channels, chips, and an FTL.
  *
  * This is the main entry point of the library for whole-device
- * simulation:
+ * simulation. Hosts implement ssd::CompletionSink and submit typed
+ * requests:
  *
  * @code
  *   ssd::SsdConfig config;
  *   config.ftl = ssd::FtlKind::Cube;
  *   ssd::Ssd ssd(config);
  *   ssd.submit({.type = ssd::IoType::Write, .lba = 0, .pages = 8},
- *              [](const ssd::Completion &c) {
- *                  // check c.status: Ok, Uncorrectable, ReadOnly, ...
- *              });
+ *              &mySink);  // mySink.onCompletion(c, ctx) fires with
+ *                         // c.status: Ok, Uncorrectable, ReadOnly, ...
  *   ssd.drain();  // flush the write buffer, run all pending events
  * @endcode
+ *
+ * One-shot callers (tests, setup code) use submitSync(); closure
+ * callbacks survive only as the test-only submitWithCallback().
  */
 
 #ifndef CUBESSD_SSD_SSD_H
@@ -81,19 +84,32 @@ class Ssd
     void setAging(const nand::AgingState &aging);
 
     /**
-     * Submit a request through the host queue; it arrives at
-     * max(now, req.arrival), waits for a queue slot if the configured
-     * queue depth is exhausted, and `done` fires at completion with
-     * Completion::status carrying the outcome (requests never fail
-     * silently — check `c.status` / `c.ok()`).
+     * Submit a request through the host queue: the single typed
+     * production entry point. The request arrives at max(now,
+     * req.arrival), waits for a queue slot if the configured queue
+     * depth is exhausted, and `sink->onCompletion(c, ctx)` fires at
+     * completion with Completion::status carrying the outcome and
+     * Completion::tenant echoing req.tenant (requests never fail
+     * silently — check `c.status` / `c.ok()`). `ctx` is returned
+     * verbatim; `sink` may be null for fire-and-forget traffic.
      * @return the id assigned to the request.
      */
-    RequestId submit(HostRequest req,
-                     std::function<void(const Completion &)> done);
+    RequestId submit(HostRequest req, CompletionSink *sink,
+                     std::uint64_t ctx = 0);
 
-    /** Submit and run the queue until this request completes. The
-     *  returned Completion carries the request's Status. */
+    /** Submit and run the queue until this request completes (built
+     *  on the public typed submit path). The returned Completion
+     *  carries the request's Status. */
     Completion submitSync(HostRequest req);
+
+    /**
+     * Test-only adapter: submit with a closure callback instead of a
+     * CompletionSink. Kept for terse test bodies; the closure may
+     * allocate, so production call sites use submit() instead.
+     */
+    RequestId
+    submitWithCallback(HostRequest req,
+                       std::function<void(const Completion &)> done);
 
     /** Flush the write buffer and run all pending events. */
     void drain();

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tenant specification for the multi-tenant front end.
+ *
+ * A TenantSpec bundles everything one tenant stream needs: a workload
+ * personality (or a trace file supplying request content), a WRR
+ * arbitration weight, an SLO latency target, a share of the logical
+ * address space, and an open-loop arrival process. Specs parse from
+ * the compact CLI grammar
+ *
+ *   <name>:<workload>[:<key>=<value>]*
+ *
+ * e.g. "A:readhot:w=3:slo=500us" — keys: w (weight), slo (latency
+ * target, e.g. 500us/2ms), rate (open-loop arrivals/s; default:
+ * derived from --load and the calibrated device capacity), arrival
+ * (poisson|bursty), burst (mean batch size of the bursty process),
+ * ns (fraction of the logical space; default: equal share of what the
+ * explicit fractions leave), trace (file whose records drive the
+ * stream's request content).
+ *
+ * validate() follows the SsdConfig::validate() convention: empty
+ * string when usable, else a descriptive message naming the offending
+ * field.
+ */
+
+#ifndef CUBESSD_WORKLOAD_TENANT_H
+#define CUBESSD_WORKLOAD_TENANT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/workload/workload.h"
+
+namespace cubessd::workload {
+
+/** Open-loop arrival process families. */
+enum class ArrivalKind
+{
+    /** Independent exponential inter-arrival gaps. */
+    Poisson,
+    /** Batch-Poisson: epochs at rate/burstMean with geometric
+     *  (mean burstMean) back-to-back batches — same average rate,
+     *  much burstier short-term demand. */
+    Bursty,
+};
+
+const char *arrivalKindName(ArrivalKind kind);
+
+/** One tenant stream of a multi-tenant run. */
+struct TenantSpec
+{
+    std::string name;
+    /** Synthetic personality generating the stream's requests.
+     *  workload.name empty means the content comes from `trace`. */
+    WorkloadSpec workload;
+    /** Trace file driving the stream's request content (type, LBA,
+     *  size, scaled into the tenant's namespace); pacing still comes
+     *  from the arrival process. Empty = synthetic workload. */
+    std::string trace;
+    /** WRR arbitration weight (>= 1). */
+    std::uint32_t weight = 1;
+    /** SLO latency target; completions slower than this count as
+     *  violations. 0 = no SLO. */
+    SimTime sloTarget = 0;
+    /** Fraction of the logical space this tenant's namespace covers.
+     *  0 = an equal share of whatever the explicit fractions leave. */
+    double namespaceFraction = 0.0;
+    /** Open-loop arrival process family. */
+    ArrivalKind arrival = ArrivalKind::Poisson;
+    /** Open-loop arrival rate in requests/s; 0 = derive from the
+     *  offered-load factor at calibration time. */
+    double rate = 0.0;
+    /** Mean batch size of the bursty arrival process (>= 1). */
+    double burstMean = 8.0;
+
+    /** @return empty if usable, else a descriptive error message. */
+    std::string validate() const;
+};
+
+/**
+ * Parse one "<name>:<workload>[:<key>=<value>]*" spec.
+ * @return empty on success (spec filled in), else the parse error.
+ */
+std::string parseTenantSpec(const std::string &text, TenantSpec *spec);
+
+/**
+ * Parse a comma-separated tenant list ("A:readhot:w=3,B:oltp:w=1"),
+ * appending to `specs`. @return empty on success, else the error.
+ */
+std::string parseTenantList(const std::string &text,
+                            std::vector<TenantSpec> *specs);
+
+/**
+ * Cross-tenant checks: at least one tenant, unique names, namespace
+ * fractions summing to at most 1. Each spec must already pass its own
+ * validate(). @return empty if usable, else the error.
+ */
+std::string validateTenants(const std::vector<TenantSpec> &specs);
+
+/**
+ * Parse a duration with unit suffix ("500us", "2ms", "1.5s", "250ns")
+ * into nanoseconds. @return empty on success, else the error.
+ */
+std::string parseDuration(const std::string &text, SimTime *out);
+
+/**
+ * Deterministic arrival-epoch generator for one open-loop tenant
+ * stream: nextGap() is the time to the next arrival epoch and
+ * batchSize() how many requests that epoch delivers back to back
+ * (always 1 for Poisson).
+ */
+class ArrivalProcess
+{
+  public:
+    ArrivalProcess(ArrivalKind kind, double ratePerSecond,
+                   double burstMean, std::uint64_t seed);
+
+    /** Time until the next arrival epoch (exponential). */
+    SimTime nextGap();
+
+    /** Requests delivered at one epoch (geometric for Bursty). */
+    std::uint32_t batchSize();
+
+    double ratePerSecond() const { return rate_; }
+
+  private:
+    ArrivalKind kind_;
+    double rate_;       ///< requests per second
+    double epochMeanNs_; ///< mean gap between epochs
+    double burstMean_;
+    Rng rng_;
+};
+
+}  // namespace cubessd::workload
+
+#endif  // CUBESSD_WORKLOAD_TENANT_H

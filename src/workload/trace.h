@@ -9,6 +9,15 @@
  * Lines starting with '#' are comments. TraceWriter captures a
  * generated or live request stream; TraceReader loads it back, and
  * replayTrace() submits it open-loop at the recorded arrival times.
+ *
+ * TraceReader also auto-detects the MSR-Cambridge block-trace CSV
+ * format (SNIA IOTTA, one record per line):
+ *
+ *   <timestamp>,<hostname>,<disk>,<Read|Write>,<offset>,<size>,<latency>
+ *
+ * where the timestamp is in Windows FILETIME units (100 ns ticks) and
+ * offset/size are bytes. Records are rebased so the first one arrives
+ * at t=0 and byte ranges are converted to 16 KB logical pages.
  */
 
 #ifndef CUBESSD_WORKLOAD_TRACE_H
@@ -47,6 +56,16 @@ class TraceReader
     /** Convenience: read a file path. Fatal on I/O error. */
     static std::vector<ssd::HostRequest>
     readFile(const std::string &path);
+
+    /**
+     * Non-fatal parse with format auto-detection (native whitespace
+     * format vs MSR-Cambridge CSV, decided per line by the presence
+     * of commas). Appends to `requests`.
+     * @return empty on success, else a descriptive error naming the
+     *         detected format and the offending line.
+     */
+    static std::string parse(std::istream &in,
+                             std::vector<ssd::HostRequest> *requests);
 };
 
 /** Latency/IOPS summary of a replay. */

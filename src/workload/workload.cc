@@ -110,6 +110,56 @@ allWorkloads()
     return {mail(), web(), proxy(), oltp(), rocks(), mongo()};
 }
 
+WorkloadSpec
+readhot()
+{
+    WorkloadSpec s;
+    s.name = "ReadHot";
+    s.readFraction = 0.95;
+    s.minPages = 1;
+    s.maxPages = 4;
+    s.minWritePages = 1;  // rare metadata updates
+    s.maxWritePages = 1;
+    s.zipfTheta = 0.99;
+    s.workingSetFraction = 0.3;
+    s.burstLength = 0;  // steady serving
+    return s;
+}
+
+WorkloadSpec
+writeheavy()
+{
+    WorkloadSpec s;
+    s.name = "WriteHeavy";
+    s.readFraction = 0.1;
+    s.minPages = 1;
+    s.maxPages = 2;
+    s.zipfTheta = 0.8;
+    s.workingSetFraction = 0.4;
+    s.sequentialWriteFraction = 0.4;  // log/LSM append component
+    s.burstLength = 0;
+    return s;
+}
+
+std::optional<WorkloadSpec>
+findWorkload(const std::string &name)
+{
+    std::string lower = name;
+    for (auto &ch : lower)
+        ch = static_cast<char>(std::tolower(ch));
+    auto candidates = allWorkloads();
+    candidates.push_back(readhot());
+    candidates.push_back(writeheavy());
+    for (const auto &spec : candidates) {
+        std::string specLower = spec.name;
+        for (auto &ch : specLower)
+            ch = static_cast<char>(std::tolower(ch));
+        if (specLower == lower)
+            return spec;
+    }
+    return std::nullopt;
+}
+
 WorkloadGenerator::WorkloadGenerator(const WorkloadSpec &spec,
                                      std::uint64_t logicalPages,
                                      std::uint64_t seed)

@@ -16,6 +16,7 @@
 #define CUBESSD_WORKLOAD_WORKLOAD_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,23 @@ WorkloadSpec mongo();  ///< MongoDB under YCSB-A (50/50, zipfian)
 /** All six, in the paper's figure order. */
 std::vector<WorkloadSpec> allWorkloads();
 /** @} */
+
+/** @name Multi-tenant stressor personalities (not paper workloads) @{ */
+/** Read-latency-sensitive tenant: ~95% small skewed reads (the
+ *  STRAW-style read-hot stream whose p99.9 QoS the arbiter must
+ *  protect). */
+WorkloadSpec readhot();
+/** Write-bandwidth tenant: ~90% writes with an append component —
+ *  the noisy neighbour that fills the write buffer and triggers GC. */
+WorkloadSpec writeheavy();
+/** @} */
+
+/**
+ * Look up a workload personality by case-insensitive name (the six
+ * paper workloads plus readhot/writeheavy).
+ * @return the spec, or std::nullopt for an unknown name.
+ */
+std::optional<WorkloadSpec> findWorkload(const std::string &name);
 
 /**
  * Stateful request generator for one workload on one device size.

@@ -260,7 +260,7 @@ TEST(FaultDevice, QueueDepthOneBackpressureWithFailures)
         ssd::HostRequest req;
         req.type = ssd::IoType::Write;
         req.lba = lba;
-        dev.submit(req, [&](const ssd::Completion &c) {
+        dev.submitWithCallback(req, [&](const ssd::Completion &c) {
             ++completions;
             if (c.status == ssd::Status::ReadOnly)
                 ++readOnlyCompletions;

@@ -77,10 +77,10 @@ TEST(HostQueue, BoundedDepthBlocksExtraSubmissionUntilCompletion)
 
     std::vector<ssd::Completion> completions;
     for (Lba lba = 0; lba < 3; ++lba) {
-        dev.hostQueue().submit(readRequest(lba),
-                               [&completions](const ssd::Completion &c) {
-                                   completions.push_back(c);
-                               });
+        dev.hostQueue().submitWithCallback(
+            readRequest(lba), [&completions](const ssd::Completion &c) {
+                completions.push_back(c);
+            });
     }
     // Three submission events are pending; fire exactly those. The
     // first two take the queue's slots, the third must wait.
@@ -120,10 +120,10 @@ TEST(HostQueue, SaturatedQueueLatencyIsMonotone)
     constexpr int kRequests = 8;
     std::vector<ssd::Completion> completions;
     for (Lba lba = 0; lba < kRequests; ++lba) {
-        dev.hostQueue().submit(readRequest(lba),
-                               [&completions](const ssd::Completion &c) {
-                                   completions.push_back(c);
-                               });
+        dev.hostQueue().submitWithCallback(
+            readRequest(lba), [&completions](const ssd::Completion &c) {
+                completions.push_back(c);
+            });
     }
     dev.queue().run();
     ASSERT_EQ(completions.size(),
@@ -150,10 +150,11 @@ TEST(HostQueue, DriverRunsThroughBoundedQueue)
     std::uint64_t outstanding = 0;
     for (Lba lba = 0; lba < 32; ++lba) {
         ++outstanding;
-        dev.hostQueue().submit(readRequest(lba % 16),
-                               [&outstanding](const ssd::Completion &) {
-                                   --outstanding;
-                               });
+        dev.hostQueue().submitWithCallback(
+            readRequest(lba % 16),
+            [&outstanding](const ssd::Completion &) {
+                --outstanding;
+            });
     }
     dev.queue().run();
     EXPECT_EQ(outstanding, 0u);

@@ -180,13 +180,14 @@ TEST(SsdIntegration, BufferHitReadHasBufferPhaseOnly)
     write.type = ssd::IoType::Write;
     write.lba = 5;
     write.pages = 1;
-    dev.submit(write, [](const ssd::Completion &) {});
+    dev.submitWithCallback(write, [](const ssd::Completion &) {});
     ssd::HostRequest read;
     read.type = ssd::IoType::Read;
     read.lba = 5;
     read.pages = 1;
     ssd::Completion seen;
-    dev.submit(read, [&](const ssd::Completion &c) { seen = c; });
+    dev.submitWithCallback(read,
+                           [&](const ssd::Completion &c) { seen = c; });
     dev.queue().run();
     // The read is served from the write buffer: DRAM time, no NAND.
     EXPECT_GT(seen.phases.buffer, 0u);
@@ -204,7 +205,8 @@ TEST(SsdIntegration, SubmitAssignsIdsAndHonorsArrival)
     req.pages = 1;
     req.arrival = 500 * kMicrosecond;
     ssd::Completion seen;
-    dev.submit(req, [&](const ssd::Completion &c) { seen = c; });
+    dev.submitWithCallback(req,
+                           [&](const ssd::Completion &c) { seen = c; });
     dev.queue().run();
     EXPECT_GT(seen.id, 0u);
     EXPECT_EQ(seen.arrival, 500 * kMicrosecond);

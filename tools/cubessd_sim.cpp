@@ -42,6 +42,11 @@ struct Options
     unsigned jobs = 0;
     double prefillOverwrite = 0.2;
     std::uint32_t qd = 0;
+    /** Multi-tenant mode: engaged when at least one tenant is given. */
+    std::vector<workload::TenantSpec> tenants;
+    bool openLoop = false;
+    double load = 0.0;
+    std::uint32_t arbBurst = 4;
     bool verbose = false;
     std::string metricsOut;
     std::string traceOut;
@@ -87,6 +92,37 @@ usage()
         "                                 keep n requests in flight through\n"
         "                                 the bounded host queue (default:\n"
         "                                 the workload's native pacing)\n"
+        "  --tenants <list>               multi-tenant mode: comma-\n"
+        "                                 separated tenant specs, each\n"
+        "                                 <name>:<workload>[:<key>=<val>]*\n"
+        "                                 with keys w= (WRR weight), slo=\n"
+        "                                 (latency target, e.g. 500us/2ms),\n"
+        "                                 rate= (open-loop arrivals/s),\n"
+        "                                 arrival= (poisson|bursty), burst=\n"
+        "                                 (mean batch of bursty arrivals),\n"
+        "                                 ns= (namespace fraction), trace=\n"
+        "                                 (request-content trace file);\n"
+        "                                 e.g. \"A:readhot:w=3:slo=500us,\n"
+        "                                 B:writeheavy:w=1:slo=2ms\"\n"
+        "  --tenant <spec>                add one tenant (repeatable;\n"
+        "                                 same grammar as --tenants)\n"
+        "  --open-loop                    pace tenants by independent\n"
+        "                                 arrival processes instead of\n"
+        "                                 fixed in-flight counts; demand\n"
+        "                                 does not slow down when the\n"
+        "                                 device falls behind, exposing\n"
+        "                                 SLO violations\n"
+        "  --load <frac>                  open-loop offered load as a\n"
+        "                                 fraction of the calibrated\n"
+        "                                 closed-loop capacity, split\n"
+        "                                 across rate-less tenants by\n"
+        "                                 weight (e.g. 0.8)\n"
+        "  --arb-burst <n>                WRR arbitration burst:\n"
+        "                                 consecutive commands per weight\n"
+        "                                 unit per round-robin visit\n"
+        "                                 (default 4); --qd sets the\n"
+        "                                 shared in-flight window\n"
+        "                                 (default 64)\n"
         "  --metrics-out <file>           write the full run metrics as\n"
         "                                 JSON: per-IoType latency\n"
         "                                 percentiles (p50/p95/p99/p99.9),\n"
@@ -185,6 +221,24 @@ parseArgs(int argc, char **argv)
             opt.prefillOverwrite = std::atof(value());
         } else if (arg == "--qd") {
             opt.qd = static_cast<std::uint32_t>(std::atoi(value()));
+        } else if (arg == "--tenants") {
+            if (const std::string err =
+                    workload::parseTenantList(value(), &opt.tenants);
+                !err.empty())
+                fatal("%s", err.c_str());
+        } else if (arg == "--tenant") {
+            workload::TenantSpec spec;
+            if (const std::string err =
+                    workload::parseTenantSpec(value(), &spec);
+                !err.empty())
+                fatal("%s", err.c_str());
+            opt.tenants.push_back(std::move(spec));
+        } else if (arg == "--open-loop") {
+            opt.openLoop = true;
+        } else if (arg == "--load") {
+            opt.load = std::atof(value());
+        } else if (arg == "--arb-burst") {
+            opt.arbBurst = static_cast<std::uint32_t>(std::atoi(value()));
         } else if (arg == "--metrics-out") {
             opt.metricsOut = value();
         } else if (arg == "--trace-out") {
@@ -410,6 +464,266 @@ writeSweepMetricsFile(const std::string &path, const Options &opt,
 }
 
 /**
+ * Write the metrics of a multi-tenant run as a single JSON document:
+ * the run configuration (tenant specs included), the aggregate
+ * summary, and one object per tenant with its latency percentiles,
+ * SLO accounting, arbitration counters and full request metrics.
+ */
+void
+writeMultiTenantMetricsFile(const std::string &path, const Options &opt,
+                            const ssd::Ssd &dev,
+                            const workload::MultiTenantResult &result,
+                            const trace::CounterRegistry *counters)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open metrics file '%s'", path.c_str());
+
+    metrics::JsonWriter w(out);
+    w.beginObject();
+
+    w.key("config");
+    w.beginObject();
+    w.field("ftl", opt.ftl);
+    w.field("pe_cycles", static_cast<std::uint64_t>(opt.pe));
+    w.field("retention_months", opt.retentionMonths);
+    w.field("blocks_per_chip", static_cast<std::uint64_t>(opt.blocks));
+    w.field("requests", opt.requests);
+    w.field("seed", opt.seed);
+    w.field("open_loop", opt.openLoop);
+    w.field("load", opt.load);
+    w.field("arb_burst", static_cast<std::uint64_t>(opt.arbBurst));
+    w.field("window",
+            static_cast<std::uint64_t>(opt.qd > 0 ? opt.qd : 64));
+    w.endObject();
+
+    w.key("run");
+    w.beginObject();
+    w.field("iops", result.iops);
+    w.field("elapsed_s", toSeconds(result.elapsed));
+    w.field("completed", result.completed);
+    w.field("calibrated_iops", result.calibratedIops);
+    w.field("read_only", dev.ftl().readOnly());
+    w.endObject();
+
+    w.key("tenants");
+    w.beginArray();
+    for (std::size_t i = 0; i < result.tenants.size(); ++i) {
+        const auto &t = result.tenants[i];
+        const auto &spec = opt.tenants[i];
+        w.beginObject();
+        w.field("name", t.name);
+        w.field("workload", spec.workload.name.empty()
+                                ? std::string("trace")
+                                : spec.workload.name);
+        w.field("weight", static_cast<std::uint64_t>(t.weight));
+        w.field("arrival",
+                std::string(workload::arrivalKindName(spec.arrival)));
+        w.field("slo_target_ns",
+                static_cast<std::uint64_t>(t.sloTarget));
+        w.field("offered_rate", t.offeredRate);
+        w.field("submitted", t.submitted);
+        w.field("completed", t.completed);
+        w.field("iops", t.iops);
+        w.field("slo_violations", t.sloViolations);
+        w.field("slo_violation_fraction", t.sloViolationFraction());
+        for (const auto type :
+             {ssd::IoType::Read, ssd::IoType::Write}) {
+            const auto &h = t.metrics.latency(type);
+            const std::string prefix =
+                type == ssd::IoType::Read ? "read" : "write";
+            w.field(prefix + "_p50_us",
+                    h.percentile(50.0) / 1000.0);
+            w.field(prefix + "_p99_us",
+                    h.percentile(99.0) / 1000.0);
+            w.field(prefix + "_p999_us",
+                    h.percentile(99.9) / 1000.0);
+        }
+        w.key("arbitration");
+        w.beginObject();
+        w.field("submitted", t.arbitration.submitted);
+        w.field("dispatched", t.arbitration.dispatched);
+        w.field("completed", t.arbitration.completed);
+        w.field("max_backlog", t.arbitration.maxBacklog);
+        w.endObject();
+        w.key("requests");
+        metrics::writeRequestMetrics(w, t.metrics);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("utilization");
+    metrics::writeUtilization(w, result.utilization);
+
+    const auto &stats = dev.ftl().stats();
+    w.key("ftl");
+    w.beginObject();
+    w.field("host_read_pages", stats.hostReadPages);
+    w.field("host_write_pages", stats.hostWritePages);
+    w.field("buffer_hits", stats.bufferHits);
+    w.field("nand_reads", stats.nandReads);
+    w.field("host_programs", stats.hostPrograms);
+    w.field("gc_programs", stats.gcPrograms);
+    w.field("write_amplification", stats.writeAmplification());
+    w.endObject();
+
+    const auto &gc = dev.ftl().gcStats();
+    w.key("gc");
+    w.beginObject();
+    w.field("collections", gc.collections);
+    w.field("relocated_pages", gc.relocatedPages);
+    w.field("erases", gc.erases);
+    w.endObject();
+
+    if (counters != nullptr) {
+        w.key("timeseries");
+        counters->writeTimeseries(w);
+    }
+
+    w.endObject();
+    out << '\n';
+}
+
+/**
+ * Multi-tenant mode: N tenant streams through per-tenant submission
+ * queues and the WRR arbiter, closed- or open-loop, with per-tenant
+ * latency percentiles and SLO accounting.
+ */
+int
+runMultiTenant(const Options &opt, const ssd::SsdConfig &config)
+{
+    ssd::Ssd dev(config);
+
+    std::cout << "device: " << dev.chipCount() << " chips x "
+              << opt.blocks << " blocks ("
+              << dev.logicalPages() *
+                     config.chip.geometry.pageSizeBytes / kGiB
+              << " GiB logical), FTL " << ssd::ftlKindName(config.ftl)
+              << "\ntenants:";
+    for (const auto &spec : opt.tenants) {
+        std::cout << ' ' << spec.name << "("
+                  << (spec.workload.name.empty() ? "trace"
+                                                 : spec.workload.name)
+                  << ",w=" << spec.weight << ')';
+    }
+    std::cout << "\npacing: "
+              << (opt.openLoop ? "open loop" : "closed loop");
+    if (opt.openLoop && opt.load > 0.0)
+        std::cout << " @ load " << opt.load;
+    std::cout << '\n';
+
+    workload::MultiTenantOptions mtOptions;
+    mtOptions.openLoop = opt.openLoop;
+    mtOptions.load = opt.load;
+    mtOptions.window = opt.qd > 0 ? opt.qd : 64;
+    mtOptions.arbBurst = opt.arbBurst;
+    workload::MultiTenantDriver driver(dev, opt.tenants, mtOptions);
+
+    std::cout << "prefilling..." << std::flush;
+    dev.setAging({opt.pe, 0.0});
+    driver.prefill(opt.prefillOverwrite);
+    dev.setAging({opt.pe, opt.retentionMonths});
+    std::cout << " done\n";
+
+    // As in the single-tenant path, tracing starts after the prefill
+    // so it covers the measured (and calibration) window only.
+    const std::uint64_t sampleIntervalUs =
+        opt.sampleIntervalSet ? opt.sampleIntervalUs
+                              : (opt.traceOut.empty() ? 0 : 1000);
+    std::unique_ptr<trace::TraceSession> traceSession;
+    if (!opt.traceOut.empty()) {
+        trace::TraceConfig traceConfig;
+        traceConfig.capacityEvents = opt.traceBuffer;
+        traceSession = std::make_unique<trace::TraceSession>(traceConfig);
+        dev.attachTrace(traceSession.get());
+    }
+    std::unique_ptr<trace::CounterRegistry> counterRegistry;
+    if (sampleIntervalUs > 0) {
+        counterRegistry = std::make_unique<trace::CounterRegistry>();
+        dev.registerCounters(*counterRegistry);
+        counterRegistry->attachTrace(traceSession.get());
+        counterRegistry->installSampler(dev.queue(),
+                                        sampleIntervalUs * 1000);
+    }
+
+    std::cout << "running " << opt.requests << " requests..."
+              << std::flush;
+    const auto result = driver.run(opt.requests);
+    std::cout << " done\n\n";
+
+    metrics::Table summary({"metric", "value"});
+    summary.row({"aggregate IOPS", metrics::format(result.iops, 0)});
+    summary.row({"simulated time",
+                 metrics::format(toSeconds(result.elapsed), 3) + " s"});
+    if (result.calibratedIops > 0.0)
+        summary.row({"calibrated capacity (IOPS)",
+                     metrics::format(result.calibratedIops, 0)});
+    summary.row({"completed requests",
+                 std::to_string(result.completed)});
+    summary.print(std::cout);
+
+    std::cout << "\nper-tenant results:\n";
+    metrics::Table table({"tenant", "weight", "iops", "rd p50 (us)",
+                          "rd p99 (us)", "rd p99.9 (us)", "wr p99 (us)",
+                          "slo", "violations"});
+    for (const auto &t : result.tenants) {
+        const auto &read = t.metrics.latency(ssd::IoType::Read);
+        const auto &write = t.metrics.latency(ssd::IoType::Write);
+        std::string slo = "-";
+        std::string violations = "-";
+        if (t.sloTarget > 0) {
+            slo = metrics::format(
+                      static_cast<double>(t.sloTarget) / 1000.0, 0) +
+                  " us";
+            violations =
+                std::to_string(t.sloViolations) + " (" +
+                metrics::format(t.sloViolationFraction() * 100.0, 2) +
+                "%)";
+        }
+        table.row({t.name, std::to_string(t.weight),
+                   metrics::format(t.iops, 0),
+                   metrics::format(read.percentile(50.0) / 1000.0, 1),
+                   metrics::format(read.percentile(99.0) / 1000.0, 1),
+                   metrics::format(read.percentile(99.9) / 1000.0, 1),
+                   metrics::format(write.percentile(99.0) / 1000.0, 1),
+                   slo, violations});
+    }
+    table.print(std::cout);
+
+    std::cout << "\narbitration:\n";
+    metrics::Table arb({"tenant", "submitted", "dispatched",
+                        "max backlog"});
+    for (const auto &t : result.tenants) {
+        arb.row({t.name, std::to_string(t.arbitration.submitted),
+                 std::to_string(t.arbitration.dispatched),
+                 std::to_string(t.arbitration.maxBacklog)});
+    }
+    arb.print(std::cout);
+
+    std::cout << '\n';
+    metrics::gcStatsTable(dev.ftl().gcStats()).print(std::cout);
+
+    if (!opt.metricsOut.empty()) {
+        writeMultiTenantMetricsFile(opt.metricsOut, opt, dev, result,
+                                    counterRegistry.get());
+        std::cout << "\nmetrics written to " << opt.metricsOut << '\n';
+    }
+
+    if (traceSession) {
+        std::ofstream traceFile(opt.traceOut);
+        if (!traceFile)
+            fatal("cannot open trace file '%s'", opt.traceOut.c_str());
+        traceSession->writeJson(traceFile);
+        std::cout << "\ntrace written to " << opt.traceOut << " ("
+                  << traceSession->recorded() << " events recorded, "
+                  << traceSession->dropped() << " dropped)\n";
+    }
+
+    dev.ftl().checkConsistency();
+    return 0;
+}
+
+/**
  * --seeds N mode: N independent cells of the same configuration at
  * consecutive seeds, farmed onto --jobs worker threads, merged
  * deterministically in seed order on the main thread.
@@ -529,11 +843,44 @@ main(int argc, char **argv)
     config.chip.faults = opt.faults;
     config.ftl = parseFtl(opt.ftl);
     config.seed = opt.seed;
-    config.hostQueueDepth = opt.qd;
+    // In multi-tenant mode the WRR arbiter owns the in-flight window
+    // (--qd sizes it); the host queue underneath stays unbounded.
+    config.hostQueueDepth = opt.tenants.empty() ? opt.qd : 0;
     if (const std::string err = config.validate(); !err.empty()) {
         std::cerr << "cubessd_sim: invalid configuration: " << err
                   << '\n';
         return 2;
+    }
+
+    if (!opt.tenants.empty() && !opt.listCounters) {
+        if (const std::string err =
+                workload::validateTenants(opt.tenants);
+            !err.empty()) {
+            std::cerr << "cubessd_sim: invalid tenants: " << err
+                      << '\n';
+            return 2;
+        }
+        if (opt.seedCount > 1) {
+            std::cerr << "cubessd_sim: --seeds is not supported in "
+                         "multi-tenant mode\n";
+            return 2;
+        }
+        if (opt.openLoop && opt.load <= 0.0) {
+            for (const auto &spec : opt.tenants) {
+                if (spec.rate == 0.0) {
+                    std::cerr << "cubessd_sim: --open-loop needs "
+                                 "--load or an explicit rate= for "
+                                 "every tenant (tenant '"
+                              << spec.name << "' has neither)\n";
+                    return 2;
+                }
+            }
+        }
+        if (!opt.openLoop && opt.load > 0.0) {
+            std::cerr << "cubessd_sim: --load requires --open-loop\n";
+            return 2;
+        }
+        return runMultiTenant(opt, config);
     }
 
     if (opt.seedCount > 1 && !opt.listCounters) {
