@@ -22,13 +22,27 @@
  * Environment:
  *   CUBESSD_PERF_MICRO_EVENTS  micro event count   (default 4000000)
  *   CUBESSD_PERF_REQUESTS      workload requests   (default 200000)
+ *
+ * Options:
+ *   --profile  self-profile the workload run and emit a per-subsystem
+ *              "profile" breakdown into BENCH_perf.json. Do NOT gate a
+ *              --profile run against a no-profile baseline — the scope
+ *              overhead is part of the measured wall time.
+ *   --force    overwrite BENCH_perf.json even when the existing file
+ *              records a larger scale than this run (by default a
+ *              smoke run refuses to clobber a scaled/full result).
  */
 
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <iterator>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "src/prof/prof.h"
 
 using namespace cubessd;
 
@@ -91,6 +105,42 @@ printPath(const char *name, const PathResult &r)
               << metrics::format(r.eventsPerSec() / 1e6, 2)
               << " M events/s (" << metrics::format(r.nsPerEvent(), 0)
               << " ns/event)\n";
+}
+
+/** Rank of a sidecar "scale" tag: bigger = more representative. */
+int
+scaleRank(const std::string &name)
+{
+    if (name == "smoke")
+        return 0;
+    if (name == "scaled")
+        return 1;
+    if (name == "full")
+        return 2;
+    return -1;  // unknown / absent: never blocks an overwrite
+}
+
+/** The "scale" string recorded in an existing sidecar ("" if none). */
+std::string
+recordedScale(const char *path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return "";
+    const std::string text{std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>()};
+    const auto key = text.find("\"scale\"");
+    if (key == std::string::npos)
+        return "";
+    const auto colon = text.find(':', key);
+    if (colon == std::string::npos)
+        return "";
+    const auto open = text.find('"', colon);
+    const auto close =
+        open == std::string::npos ? open : text.find('"', open + 1);
+    if (close == std::string::npos)
+        return "";
+    return text.substr(open + 1, close - open - 1);
 }
 
 /**
@@ -156,7 +206,8 @@ microBench(std::uint64_t totalEvents)
  * number reflects the steady-state request pipeline.
  */
 PathResult
-workloadBench(std::uint64_t requests, double *iopsOut)
+workloadBench(std::uint64_t requests, double *iopsOut,
+              prof::ProfileData *profileOut)
 {
     ssd::Ssd dev(bench::ssdConfig(ssd::FtlKind::Cube, 42));
     workload::WorkloadSpec spec{};
@@ -167,10 +218,16 @@ workloadBench(std::uint64_t requests, double *iopsOut)
     workload::Driver driver(dev, gen);
     driver.prefill(0.2);
 
+    // Snapshot-delta around the timed window only, so the profile's
+    // coverage fraction is computed against the same wall time.
+    const prof::ProfileData profBefore =
+        profileOut != nullptr ? prof::snapshot() : prof::ProfileData{};
     const std::uint64_t fired0 = dev.queue().fired();
     const auto t0 = std::chrono::steady_clock::now();
     const auto result = driver.run(requests);
     const auto t1 = std::chrono::steady_clock::now();
+    if (profileOut != nullptr)
+        *profileOut = prof::snapshot().since(profBefore);
 
     PathResult r;
     r.events = dev.queue().fired() - fired0;
@@ -183,8 +240,36 @@ workloadBench(std::uint64_t requests, double *iopsOut)
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool profile = false;
+    bool force = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--profile") == 0)
+            profile = true;
+        else if (std::strcmp(argv[i], "--force") == 0)
+            force = true;
+        else
+            fatal("unknown option '%s' (perf_events accepts --profile "
+                  "and --force)",
+                  argv[i]);
+    }
+
+    // A committed BENCH_perf.json from a full-scale run must not be
+    // silently replaced by a CI smoke run's numbers: refuse to
+    // downgrade the recorded scale unless --force says so.
+    const std::string existing = recordedScale("BENCH_perf.json");
+    if (!force && scaleRank(existing) > scaleRank(bench::scaleName())) {
+        std::cerr << "perf_events: BENCH_perf.json records a '"
+                  << existing << "'-scale result; refusing to "
+                  << "overwrite it with this '" << bench::scaleName()
+                  << "'-scale run (pass --force to override)\n";
+        return 1;
+    }
+
+    if (profile)
+        prof::setEnabled(true);
+
     std::cout << "=== perf: simulator events/s (micro + workload) ===\n"
               << "(wall-clock throughput; machine-dependent — compare "
                  "against bench/perf_baseline.json from the same "
@@ -198,10 +283,19 @@ main()
     const PathResult micro = microBench(microEvents);
     printPath("micro    ", micro);
 
+    // Only the workload run is attributed: the micro path exists to
+    // measure the raw queue, and its profile is just sim.loop/sched.
     double iops = 0.0;
-    const PathResult workload = workloadBench(requests, &iops);
+    prof::ProfileData profData;
+    const PathResult workload =
+        workloadBench(requests, &iops, profile ? &profData : nullptr);
     printPath("workload ", workload);
     std::cout << "  workload iops: " << metrics::format(iops, 0) << "\n";
+
+    if (profile) {
+        std::cout << '\n';
+        prof::report(std::cout, profData, workload.wallS * 1e9);
+    }
 
     auto jsonOut = bench::openBenchJson("perf");
     metrics::JsonWriter json(jsonOut);
@@ -212,6 +306,10 @@ main()
     writePath(json, "workload", workload);
     json.field("workload_requests", requests);
     json.field("workload_iops", iops);
+    if (profile) {
+        json.key("profile");
+        prof::writeJson(json, profData, workload.wallS * 1e9);
+    }
     json.endObject();
     jsonOut << '\n';
     return 0;

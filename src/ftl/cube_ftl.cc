@@ -1,6 +1,7 @@
 #include "src/ftl/cube_ftl.h"
 
 #include "src/common/logging.h"
+#include "src/prof/prof.h"
 #include "src/trace/counters.h"
 
 namespace cubessd::ftl {
@@ -139,6 +140,7 @@ CubeFtl::finalizeChoice(std::uint32_t chip, const WlChoice &pick)
 ProgramChoice
 CubeFtl::chooseProgramTarget(std::uint32_t chip, bool forGc, double mu)
 {
+    PROF_SCOPE(prof::Slot::FtlOpm);
     const WlChoice pick =
         forGc ? pickGcWl(chip, mu) : pickHostWl(chip, mu);
     return finalizeChoice(chip, pick);
@@ -147,6 +149,7 @@ CubeFtl::chooseProgramTarget(std::uint32_t chip, bool forGc, double mu)
 MilliVolt
 CubeFtl::readShiftFor(std::uint32_t chip, const nand::PageAddr &addr)
 {
+    PROF_SCOPE(prof::Slot::FtlOrtLookup);
     if (!features_.ort)
         return 0;
     const auto shift = ort_.lookup(chip, addr.block, addr.layer);
@@ -163,6 +166,7 @@ CubeFtl::readSoftHint(std::uint32_t chip, const nand::PageAddr &addr)
     // (the paper's Sec. 8 leader-informed ECC idea). Entry presence —
     // not a non-zero shift — is the signal: a calibrated 0 mV entry
     // still marks a noisy layer.
+    PROF_SCOPE(prof::Slot::FtlOrtLookup);
     if (!features_.eccHint || !features_.ort)
         return false;
     return ort_.contains(chip, addr.block, addr.layer);
@@ -174,6 +178,7 @@ CubeFtl::onProgramComplete(std::uint32_t chip,
                            const nand::WlProgramResult &result)
 {
     if (choice.monitor) {
+        PROF_SCOPE(prof::Slot::FtlOpm);
         state_[chip].params[paramKey(choice.wl.block, choice.wl.layer)] =
             opm_.derive(result,
                         chipModel(chip).blockAging(choice.wl.block));
@@ -226,6 +231,7 @@ bool
 CubeFtl::safetyCheck(std::uint32_t chip, const ProgramChoice &choice,
                      const nand::WlProgramResult &result)
 {
+    PROF_SCOPE(prof::Slot::FtlOpm);
     LeaderParams &params =
         state_[chip].params[paramKey(choice.wl.block, choice.wl.layer)];
     if (!params.valid)

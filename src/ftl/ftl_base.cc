@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/prof/prof.h"
 #include "src/trace/counters.h"
 #include "src/trace/trace.h"
 
@@ -216,7 +217,15 @@ FtlBase::hostRead(const ssd::HostRequest &req, ssd::CompletionSink *sink,
         ++stats_.hostReadPages;
 
         // 1) write buffer, 2) in-flight flushes, 3) NAND.
-        if (buffer_.lookup(lba) || inFlight_.contains(lba)) {
+        bool buffered;
+        std::optional<Ppa> ppa;
+        {
+            PROF_SCOPE(prof::Slot::FtlMapping);
+            buffered = buffer_.lookup(lba) || inFlight_.contains(lba);
+            if (!buffered)
+                ppa = mapping_.lookup(lba);
+        }
+        if (buffered) {
             ++stats_.bufferHits;
             ctx->phases.buffer += config_.bufferReadTime;
             sim::EventPayload payload;
@@ -226,7 +235,6 @@ FtlBase::hostRead(const ssd::HostRequest &req, ssd::CompletionSink *sink,
                             payload);
             continue;
         }
-        const std::optional<Ppa> ppa = mapping_.lookup(lba);
         if (!ppa) {
             ++stats_.unmappedReads;
             ctx->phases.buffer += config_.bufferReadTime;
@@ -601,6 +609,7 @@ void
 FtlBase::applyMappings(std::uint32_t chip, const nand::WlAddr &wl,
                        const std::vector<FlushEntry> &batch)
 {
+    PROF_SCOPE(prof::Slot::FtlMapping);
     auto &mgr = blockMgrs_[chip];
     for (std::uint32_t i = 0; i < batch.size(); ++i) {
         const auto &entry = batch[i];

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/prof/prof.h"
 #include "src/trace/trace.h"
 
 namespace cubessd::ftl {
@@ -79,11 +80,15 @@ GcEngine::traceCollectionBegin(std::uint32_t chip)
 void
 GcEngine::maybeStart(std::uint32_t chip)
 {
+    // The scope opens only past the early-outs: maybeStart is polled
+    // on every host program, and profiling the two-compare idle check
+    // would cost more than the check itself.
     auto &gc = gc_.at(chip);
     if (gc.active)
         return;
     if (blockMgrs_[chip].freeCount() >= config_.gcLowWatermark)
         return;
+    PROF_SCOPE(prof::Slot::FtlGc);
     const auto victim = policy_->pickVictim(blockMgrs_[chip]);
     if (!victim)
         return;
@@ -128,7 +133,8 @@ GcEngine::continueOn(std::uint32_t chip)
 {
     auto &gc = gc_[chip];
     if (!gc.active)
-        return;
+        return;  // resume() polls here on every program completion
+    PROF_SCOPE(prof::Slot::FtlGc);
     auto &mgr = blockMgrs_[chip];
     const auto &info = mgr.info(gc.victim);
 
@@ -174,6 +180,7 @@ void
 GcEngine::finishScanPage(std::uint32_t chip,
                          std::uint32_t pageInBlockIdx)
 {
+    // Called only from onNandOpComplete, whose FtlGc scope is open.
     auto &gc = gc_[chip];
     const auto &info = blockMgrs_[chip].info(gc.victim);
     if (!info.valid[pageInBlockIdx])
@@ -195,6 +202,7 @@ GcEngine::finishScanPage(std::uint32_t chip,
 void
 GcEngine::maybeDispatchProgram(std::uint32_t chip, bool force)
 {
+    // Called only from continueOn, whose FtlGc scope is open.
     auto &gc = gc_[chip];
     while (gc.pending.size() >= geom_.pagesPerWl ||
            (force && !gc.pending.empty())) {
@@ -214,6 +222,7 @@ GcEngine::maybeDispatchProgram(std::uint32_t chip, bool force)
 void
 GcEngine::eraseVictim(std::uint32_t chip)
 {
+    // Called only from continueOn, whose FtlGc scope is open.
     auto &gc = gc_[chip];
     gc.erasing = true;
     ssd::NandOp op;
@@ -228,6 +237,7 @@ void
 GcEngine::onNandOpComplete(const ssd::NandOp &op,
                            const ssd::NandOpResult &result)
 {
+    PROF_SCOPE(prof::Slot::FtlGc);
     if (op.kind == ssd::NandOp::Kind::Read) {
         const auto pageIdx = static_cast<std::uint32_t>(op.ctx);
         mirror_.readRetries +=
@@ -244,6 +254,7 @@ void
 GcEngine::handleEraseComplete(std::uint32_t chip,
                               const ssd::NandOpResult &result)
 {
+    // Called only from onNandOpComplete, whose FtlGc scope is open.
     auto &gc = gc_[chip];
     const std::uint32_t victim = gc.victim;
     ++stats_.erases;

@@ -1,5 +1,7 @@
 #include "src/metrics/request_metrics.h"
 
+#include "src/prof/prof.h"
+
 namespace cubessd::metrics {
 
 void
@@ -15,6 +17,7 @@ PhaseHistograms::merge(const PhaseHistograms &other)
 void
 RequestMetrics::record(const ssd::Completion &completion)
 {
+    PROF_SCOPE(prof::Slot::ObsMetricsTrace);
     const std::size_t i = index(completion.type);
     latency_[i].add(static_cast<std::uint64_t>(completion.latency()));
     auto &p = phases_[i];

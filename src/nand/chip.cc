@@ -1,6 +1,7 @@
 #include "src/nand/chip.h"
 
 #include "src/common/logging.h"
+#include "src/prof/prof.h"
 
 namespace cubessd::nand {
 
@@ -48,10 +49,15 @@ NandChip::pageIndexInBlock(const PageAddr &addr) const
 SimTime
 NandChip::eraseBlock(std::uint32_t block, bool *failed)
 {
+    PROF_SCOPE(prof::Slot::NandErase);
     if (block >= blocks_.size())
         panic("eraseBlock: block %u out of range", block);
     auto &state = blocks_[block];
-    const bool fail = faults_.eraseFails(blockAging(block));
+    bool fail;
+    {
+        PROF_SCOPE(prof::Slot::NandFaultCheck);
+        fail = faults_.eraseFails(blockAging(block));
+    }
     ++state.eraseCount;
     if (failed)
         *failed = fail;
@@ -74,6 +80,7 @@ WlProgramResult
 NandChip::programWl(const WlAddr &addr, const ProgramCommand &cmd,
                     std::span<const std::uint64_t> tokens)
 {
+    PROF_SCOPE(prof::Slot::NandProgram);
     if (!codec_.contains(addr))
         panic("programWl: WL address out of range");
     if (tokens.size() != config_.geometry.pagesPerWl)
@@ -98,7 +105,12 @@ NandChip::programWl(const WlAddr &addr, const ProgramCommand &cmd,
         ++stats_.featureSets;
     }
 
-    if (faults_.programFails(q, aging)) {
+    bool programFailed;
+    {
+        PROF_SCOPE(prof::Slot::NandFaultCheck);
+        programFailed = faults_.programFails(q, aging);
+    }
+    if (programFailed) {
         // Status fail after the full program attempt: the WL holds no
         // valid data, the block must be retired by the FTL. Time and
         // verify work are still spent.
@@ -133,6 +145,7 @@ ReadOutcome
 NandChip::readPage(const PageAddr &addr, MilliVolt appliedShiftMv,
                    bool softHint)
 {
+    PROF_SCOPE(prof::Slot::NandRead);
     if (!codec_.contains(addr))
         panic("readPage: page address out of range");
     const auto &block = blocks_[addr.block];

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/prof/prof.h"
 
 namespace cubessd::nand {
 
@@ -77,6 +78,7 @@ IsppEngine::program(double q, double speedMv, const AgingState &aging,
                     double chipFactor, const ProgramCommand &cmd,
                     Rng &rng) const
 {
+    PROF_SCOPE(prof::Slot::NandProgramIspp);
     WlProgramResult result;
 
     // Small per-operation speed jitter: supply/temperature noise. This

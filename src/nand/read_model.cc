@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "src/prof/prof.h"
+
 namespace cubessd::nand {
 
 ReadModel::ReadModel(const ReadParams &params, const VthModel &vth,
@@ -26,11 +28,15 @@ ReadModel::read(std::uint32_t block, double q, const AgingState &aging,
 {
     ReadOutcome out;
 
-    const double optimal =
-        vth_.optimalShiftMv(block, q, aging, errors_) +
-        rng.normal(0.0, vth_.params().readJitterMv);
-    const double alignedNorm =
-        errors_.normalizedBer(q, aging, chipFactor) * berMultiplier;
+    double optimal;
+    double alignedNorm;
+    {
+        PROF_SCOPE(prof::Slot::NandReadBerEval);
+        optimal = vth_.optimalShiftMv(block, q, aging, errors_) +
+                  rng.normal(0.0, vth_.params().readJitterMv);
+        alignedNorm =
+            errors_.normalizedBer(q, aging, chipFactor) * berMultiplier;
+    }
     // Injected fault: the WL is degraded beyond what any reference
     // shift can recover, so every ECC attempt fails and the walk runs
     // to exhaustion before reporting uncorrectable.
@@ -41,6 +47,7 @@ ReadModel::read(std::uint32_t block, double q, const AgingState &aging,
     MilliVolt step = vth_.params().retryStepMv;
     int attempts = 0;
     SimTime decodeTime = 0;
+    PROF_SCOPE(prof::Slot::NandReadRetry);
     for (;;) {
         const double miss =
             std::abs(optimal - static_cast<double>(applied));

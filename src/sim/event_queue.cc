@@ -3,8 +3,32 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/prof/prof.h"
 
 namespace cubessd::sim {
+
+// schedSlotFor() maps an EventKind to its dispatch slot by offset;
+// pin the correspondence so reordering either enum breaks the build.
+static_assert(prof::schedSlotFor(
+                  static_cast<std::uint8_t>(EventKind::Generic)) ==
+              prof::Slot::SchedGeneric);
+static_assert(prof::schedSlotFor(static_cast<std::uint8_t>(
+                  EventKind::ChipOpComplete)) == prof::Slot::SchedChipOp);
+static_assert(prof::schedSlotFor(
+                  static_cast<std::uint8_t>(EventKind::RequestComplete)) ==
+              prof::Slot::SchedRequestComplete);
+static_assert(prof::schedSlotFor(
+                  static_cast<std::uint8_t>(EventKind::ReadPieceDone)) ==
+              prof::Slot::SchedReadPiece);
+static_assert(prof::schedSlotFor(
+                  static_cast<std::uint8_t>(EventKind::HostAdmit)) ==
+              prof::Slot::SchedHostAdmit);
+static_assert(prof::schedSlotFor(
+                  static_cast<std::uint8_t>(EventKind::DriverTick)) ==
+              prof::Slot::SchedDriverTick);
+static_assert(prof::schedSlotFor(
+                  static_cast<std::uint8_t>(EventKind::TenantArrival)) ==
+              prof::Slot::SchedTenantArrival);
 
 EventQueue::EventQueue()
     : buckets_(kInitialBuckets, nullptr), bucketMask_(kInitialBuckets - 1),
@@ -180,6 +204,7 @@ EventQueue::advanceClock(SimTime when)
 void
 EventQueue::dispatch(Event *e)
 {
+    PROF_SCOPE(prof::schedSlotFor(static_cast<std::uint8_t>(e->kind)));
     ++fired_;
     if (e->kind == EventKind::Generic) {
         // Move the closure out and release the record before invoking,
@@ -200,6 +225,11 @@ EventQueue::dispatch(Event *e)
 bool
 EventQueue::step()
 {
+    // No SimLoop scope here: the workload drivers call step() once per
+    // event, and an umbrella scope per event would cost as much as the
+    // dispatch it wraps while its self time (peekMin + unlink) is
+    // negligible. run()/runUntil() keep the umbrella — they are called
+    // once per drain.
     Event *e = peekMin();
     if (e == nullptr)
         return false;
@@ -213,6 +243,7 @@ EventQueue::step()
 std::uint64_t
 EventQueue::run()
 {
+    PROF_SCOPE(prof::Slot::SimLoop);
     std::uint64_t fired = 0;
     while (pending_ != 0) {
         Event *head = peekMin();
@@ -245,6 +276,7 @@ EventQueue::run()
 std::uint64_t
 EventQueue::runUntil(SimTime deadline)
 {
+    PROF_SCOPE(prof::Slot::SimLoop);
     std::uint64_t fired = 0;
     while (pending_ != 0) {
         Event *e = peekMin();

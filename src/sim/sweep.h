@@ -35,11 +35,40 @@
 #define CUBESSD_SIM_SWEEP_H
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace cubessd::sim {
+
+/**
+ * Per-worker load telemetry of one run() call, filled on request.
+ * Each worker writes only its own pre-sized slot during the run; the
+ * calling thread reads everything after join() — no synchronization
+ * beyond thread creation/join is needed. Times are host wall-clock
+ * (machine-noisy); job counts are exact.
+ */
+struct SweepTelemetry
+{
+    struct Worker
+    {
+        std::uint64_t jobs = 0;
+        /** Jobs claimed outside the worker's static fair share
+         *  (job i's "home" worker is i*workers/count) — a measure of
+         *  how much the atomic-cursor scheduling rebalanced load. */
+        std::uint64_t steals = 0;
+        double busyS = 0.0;  ///< summed wall time inside job(i)
+        double idleS = 0.0;  ///< worker lifetime minus busy
+    };
+
+    double wallS = 0.0;  ///< whole run(), measured on the caller
+    std::vector<Worker> workers;
+
+    /** max(busy) / mean(busy): 1.0 = perfectly balanced. */
+    double imbalance() const;
+};
 
 /** Failure of one sweep job, annotated with the failing job's index. */
 class SweepError : public std::runtime_error
@@ -73,9 +102,14 @@ class SweepRunner
      * independent (no shared mutable state); they may run in any
      * order and interleaving. If any job throws, the rest still run
      * and the lowest-index failure is rethrown as SweepError.
+     *
+     * If `telemetry` is non-null it is reset and filled with one
+     * Worker entry per thread actually used (one, on the inline
+     * path), even when a job throws.
      */
     void run(std::size_t count,
-             const std::function<void(std::size_t)> &job);
+             const std::function<void(std::size_t)> &job,
+             SweepTelemetry *telemetry = nullptr);
 
   private:
     unsigned jobs_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/prof/prof.h"
 
 namespace cubessd::ssd {
 
@@ -26,6 +27,7 @@ void
 WrrArbiter::submit(std::uint32_t queue, const HostRequest &req,
                    CompletionSink *sink, std::uint64_t ctx)
 {
+    PROF_SCOPE(prof::Slot::SsdArbiter);
     auto &sq = queues_[queue];
     sq.pending.push_back(Waiter{req, sink, ctx});
     ++sq.stats.submitted;
@@ -38,6 +40,7 @@ WrrArbiter::submit(std::uint32_t queue, const HostRequest &req,
 void
 WrrArbiter::pump()
 {
+    PROF_SCOPE(prof::Slot::SsdArbiter);
     while (inFlight_ < config_.window && backlogTotal_ > 0) {
         if (credits_ == 0 || queues_[current_].pending.empty())
             advance();
@@ -89,6 +92,7 @@ WrrArbiter::dispatchFrom(std::uint32_t queue)
 void
 WrrArbiter::onCompletion(const Completion &completion, std::uint64_t ctx)
 {
+    PROF_SCOPE(prof::Slot::SsdArbiter);
     auto *record = reinterpret_cast<Pending *>(ctx);
     CompletionSink *sink = record->sink;
     const std::uint64_t downstreamCtx = record->ctx;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/prof/prof.h"
 #include "src/trace/trace.h"
 
 namespace cubessd::ssd {
@@ -10,11 +11,14 @@ SimTime
 Channel::reserve(SimTime earliest, SimTime duration,
                  const char *traceName)
 {
+    PROF_SCOPE(prof::Slot::SsdBusTransfer);
     const SimTime start = std::max(earliest, freeAt_);
     freeAt_ = start + duration;
     busyTime_ += duration;
-    if (trace_ != nullptr && traceName != nullptr)
+    if (trace_ != nullptr && traceName != nullptr) {
+        PROF_SCOPE(prof::Slot::ObsMetricsTrace);
         trace_->complete(track_, traceName, start, duration);
+    }
     return start;
 }
 

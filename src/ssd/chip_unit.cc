@@ -3,6 +3,7 @@
 #include <span>
 
 #include "src/common/logging.h"
+#include "src/prof/prof.h"
 #include "src/trace/trace.h"
 
 namespace cubessd::ssd {
@@ -110,6 +111,7 @@ ChipUnit::onEvent(sim::EventKind, const sim::EventPayload &)
 void
 ChipUnit::recordOp(const NandOp &op, const NandOpResult &result)
 {
+    PROF_SCOPE(prof::Slot::ObsMetricsTrace);
     const SimTime dur = result.end - result.start;
     switch (op.kind) {
       case NandOp::Kind::Read:

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/ftl/ftl_base.h"
+#include "src/prof/prof.h"
 #include "src/trace/trace.h"
 
 namespace cubessd::ssd {
@@ -28,6 +29,7 @@ RequestId
 HostQueue::submit(HostRequest req, CompletionSink *sink,
                   std::uint64_t ctx)
 {
+    PROF_SCOPE(prof::Slot::SsdHostQueue);
     if (req.id == 0)
         req.id = nextId_++;
     req.arrival = std::max(req.arrival, queue_.now());
@@ -84,7 +86,9 @@ void
 HostQueue::admit(const HostRequest &req, CompletionSink *sink,
                  std::uint64_t ctx)
 {
+    PROF_SCOPE(prof::Slot::SsdHostQueue);
     if (trace_ != nullptr) {
+        PROF_SCOPE(prof::Slot::ObsMetricsTrace);
         // One async group per request id, nested begin/end: the outer
         // span is the whole request, queue_wait and device partition
         // its lifetime. Tenant-tagged requests carry their stream id
@@ -121,10 +125,12 @@ void
 HostQueue::start(const HostRequest &req, CompletionSink *sink,
                  std::uint64_t ctx)
 {
+    PROF_SCOPE(prof::Slot::SsdHostQueue);
     ++inFlight_;
     const SimTime started = queue_.now();
     stats_.queueWaitSum += started - req.arrival;
     if (trace_ != nullptr) {
+        PROF_SCOPE(prof::Slot::ObsMetricsTrace);
         trace_->asyncEnd("request", "queue_wait", req.id, started);
         trace_->asyncBegin("request", "device", req.id, started);
     }
@@ -145,6 +151,7 @@ HostQueue::start(const HostRequest &req, CompletionSink *sink,
 void
 HostQueue::onCompletion(const Completion &completion, std::uint64_t ctx)
 {
+    PROF_SCOPE(prof::Slot::SsdHostQueue);
     auto *record = reinterpret_cast<Record *>(ctx);
     Completion out = completion;
     out.start = record->started;
@@ -158,6 +165,7 @@ HostQueue::onCompletion(const Completion &completion, std::uint64_t ctx)
     ++stats_.completed;
     stats_.latencySum += out.latency();
     if (trace_ != nullptr) {
+        PROF_SCOPE(prof::Slot::ObsMetricsTrace);
         trace_->asyncEnd("request", "device", out.id, queue_.now());
         trace_->asyncEnd("request", requestSpanName(out.type), out.id,
                          queue_.now());

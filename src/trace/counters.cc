@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/metrics/json.h"
+#include "src/prof/prof.h"
 #include "src/sim/event_queue.h"
 #include "src/trace/trace.h"
 
@@ -22,6 +23,7 @@ CounterRegistry::add(std::string name, std::string unit, SampleFn fn)
 void
 CounterRegistry::sample(SimTime now)
 {
+    PROF_SCOPE(prof::Slot::ObsMetricsTrace);
     ++samplesTaken_;
     for (auto &c : counters_) {
         const double v = c.fn(now);

@@ -40,6 +40,11 @@ CellResult
 runOneCell(const SweepCell &cell, bool traceThisCell,
            const SweepTrace &trace)
 {
+    // Snapshot-delta so a worker thread that runs several cells
+    // attributes each cell only its own scope hits.
+    const prof::ProfileData profBefore =
+        prof::enabled() ? prof::snapshot() : prof::ProfileData{};
+
     ssd::Ssd dev(cell.config);
     WorkloadGenerator gen(cell.spec, dev.logicalPages(),
                           cell.config.seed + 7);
@@ -69,6 +74,8 @@ runOneCell(const SweepCell &cell, bool traceThisCell,
     result.ftl = dev.ftl().stats();
     result.gc = dev.ftl().gcStats();
     result.readOnly = dev.ftl().readOnly();
+    if (prof::enabled())
+        result.profile = prof::snapshot().since(profBefore);
 
     if (traceSession) {
         std::ofstream traceFile(trace.out);
@@ -87,7 +94,7 @@ runOneCell(const SweepCell &cell, bool traceThisCell,
 
 std::vector<CellResult>
 runCells(const std::vector<SweepCell> &cells, unsigned jobs,
-         const SweepTrace &trace)
+         const SweepTrace &trace, sim::SweepTelemetry *telemetry)
 {
     // Pre-spawn validation on the calling thread: configuration
     // errors are user errors and may fatal(); once workers are
@@ -113,19 +120,31 @@ runCells(const std::vector<SweepCell> &cells, unsigned jobs,
     const bool wantTrace = !trace.out.empty();
 
     sim::SweepRunner runner(jobs);
-    runner.run(cells.size(), [&](std::size_t i) {
-        const bool traceThisCell =
-            wantTrace && i == trace.cell &&
-            !traceClaimed.exchange(true, std::memory_order_acq_rel);
-        try {
-            results[i] = runOneCell(cells[i], traceThisCell, trace);
-        } catch (const std::exception &e) {
-            throw sim::SweepError(i, cells[i].describe(i) + ": " +
-                                         e.what());
-        }
-    });
+    runner.run(
+        cells.size(),
+        [&](std::size_t i) {
+            const bool traceThisCell =
+                wantTrace && i == trace.cell &&
+                !traceClaimed.exchange(true, std::memory_order_acq_rel);
+            try {
+                results[i] = runOneCell(cells[i], traceThisCell, trace);
+            } catch (const std::exception &e) {
+                throw sim::SweepError(i, cells[i].describe(i) + ": " +
+                                             e.what());
+            }
+        },
+        telemetry);
 
     return results;
+}
+
+prof::ProfileData
+mergeCellProfiles(const std::vector<CellResult> &results)
+{
+    prof::ProfileData merged;
+    for (const CellResult &r : results)
+        merged.merge(r.profile);
+    return merged;
 }
 
 }  // namespace cubessd::workload

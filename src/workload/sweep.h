@@ -41,6 +41,8 @@
 #include "src/ftl/ftl_stats.h"
 #include "src/ftl/gc.h"
 #include "src/nand/error_model.h"
+#include "src/prof/prof.h"
+#include "src/sim/sweep.h"
 #include "src/ssd/config.h"
 #include "src/workload/driver.h"
 #include "src/workload/workload.h"
@@ -71,6 +73,10 @@ struct CellResult
     ftl::FtlStats ftl;
     ftl::GcStats gc;
     bool readOnly = false;
+    /** Self-profile delta of this cell's run, captured on the worker
+     *  that executed it (empty unless prof::enabled()). Counts are
+     *  deterministic; tick times are wall-clock noise. */
+    prof::ProfileData profile;
 };
 
 /** Optional tracing of exactly one cell of a sweep. */
@@ -85,11 +91,17 @@ struct SweepTrace
  * Run every cell (prefill + measured run), farming cells onto `jobs`
  * worker threads (1 = inline on the calling thread), and return the
  * results in cell order. See the file comment for the determinism and
- * error contracts.
+ * error contracts. `telemetry`, if given, receives the worker-pool
+ * load breakdown of this sweep (sim::SweepRunner::run).
  */
 std::vector<CellResult>
 runCells(const std::vector<SweepCell> &cells, unsigned jobs,
-         const SweepTrace &trace = {});
+         const SweepTrace &trace = {},
+         sim::SweepTelemetry *telemetry = nullptr);
+
+/** Merge every cell's profile in cell order (deterministic counts). */
+prof::ProfileData
+mergeCellProfiles(const std::vector<CellResult> &results);
 
 }  // namespace cubessd::workload
 

@@ -20,6 +20,7 @@
 #include <new>
 
 #include "src/ftl/cube_ftl.h"
+#include "src/prof/prof.h"
 #include "src/sim/event_queue.h"
 #include "src/ssd/ssd.h"
 #include "src/workload/driver.h"
@@ -245,6 +246,57 @@ TEST(ZeroAlloc, DeviceRequestPathSteadyState)
     EXPECT_GT(dev.ftl().gcStats().collections, gcBefore);
     EXPECT_EQ(allocs, 0u)
         << allocs << " allocations over " << fired << " events";
+}
+
+TEST(ZeroAlloc, DeviceRequestPathWithProfilerOn)
+{
+    // The self-profiler shares the hot path's contract: fixed-slot
+    // thread_local accumulators, raw clock reads — an enabled
+    // ProfScope must not add a single heap allocation per event.
+    if (!prof::compiledIn())
+        GTEST_SKIP() << "built without CUBESSD_PROFILING";
+    prof::setEnabled(true);
+    prof::resetThread();
+
+    ssd::SsdConfig config;
+    config.channels = 2;
+    config.chipsPerChannel = 2;
+    config.chip.geometry.blocksPerChip = 32;
+    config.logicalFraction = 0.75;
+    config.gcLowWatermark = 2;
+    config.gcHighWatermark = 3;
+    config.gcUrgentWatermark = 1;
+    config.ftl = ssd::FtlKind::Cube;
+    config.seed = 42;
+    ssd::Ssd dev(config);
+
+    auto spec = workload::oltp();
+    workload::WorkloadGenerator gen(spec, dev.logicalPages(), 7);
+    workload::Driver driver(dev, gen);
+    driver.prefill(0.3);
+
+    LoadSink sink;
+    sink.dev = &dev;
+    sink.workingSet = dev.logicalPages();
+
+    sink.drive(8000);  // warm-up, profiler already on
+
+    const std::uint64_t firedBefore = dev.queue().fired();
+    const std::uint64_t before = gAllocCount;
+    sink.drive(8000);
+    const std::uint64_t allocs = gAllocCount - before;
+    const std::uint64_t fired = dev.queue().fired() - firedBefore;
+    prof::setEnabled(false);
+
+    EXPECT_GT(fired, 50000u);
+    // The scopes really were live in the measured window (snapshot()
+    // is a plain value copy — no allocation even inside the window).
+    const prof::ProfileData profile = prof::snapshot();
+    EXPECT_GT(profile.count(prof::Slot::SchedChipOp), 0u);
+    EXPECT_GT(profile.count(prof::Slot::NandReadBerEval), 0u);
+    EXPECT_EQ(allocs, 0u)
+        << allocs << " allocations over " << fired
+        << " events with the profiler enabled";
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
  *   cubessd_sim --help
  */
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
@@ -22,6 +23,7 @@
 
 #include "src/cubessd.h"
 #include "src/ftl/cube_ftl.h"
+#include "src/prof/prof.h"
 #include "src/sim/sweep.h"
 #include "src/workload/sweep.h"
 
@@ -54,6 +56,8 @@ struct Options
     std::uint64_t sampleIntervalUs = 0;
     bool sampleIntervalSet = false;
     bool listCounters = false;
+    bool profile = false;
+    std::string profileOut;
     nand::FaultParams faults{};
 };
 
@@ -155,6 +159,21 @@ usage()
         "  --list-counters                print the sampled counter names\n"
         "                                 and units for this config, then\n"
         "                                 exit\n"
+        "  --profile                      self-profile the measured run:\n"
+        "                                 attribute host wall-clock time\n"
+        "                                 to fixed simulator hot-path\n"
+        "                                 slots (scheduler dispatch, NAND\n"
+        "                                 BER/ISPP/retry models, FTL\n"
+        "                                 lookups, GC, bus, host queue,\n"
+        "                                 trace overhead) and print the\n"
+        "                                 breakdown table; in sweep mode\n"
+        "                                 also report per-worker load\n"
+        "                                 telemetry on stderr. Simulation\n"
+        "                                 results are bit-identical with\n"
+        "                                 profiling on or off\n"
+        "  --profile-out <file>           also write the profile as a\n"
+        "                                 JSON sidecar (implies\n"
+        "                                 --profile)\n"
         "  --verbose                      print per-chip statistics\n"
         "  --help                         this text\n";
 }
@@ -252,6 +271,11 @@ parseArgs(int argc, char **argv)
             opt.sampleIntervalSet = true;
         } else if (arg == "--list-counters") {
             opt.listCounters = true;
+        } else if (arg == "--profile") {
+            opt.profile = true;
+        } else if (arg == "--profile-out") {
+            opt.profileOut = value();
+            opt.profile = true;
         } else if (arg == "--fault-program") {
             opt.faults.programFailBase = std::atof(value());
             opt.faults.enabled = true;
@@ -272,15 +296,65 @@ parseArgs(int argc, char **argv)
     return opt;
 }
 
+/** Host wall-clock seconds elapsed since `t0`, in nanoseconds. */
+double
+wallNsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Write a profile as a standalone {"profile": {...}} sidecar. */
+void
+writeProfileSidecar(const std::string &path,
+                    const prof::ProfileData &data, double wallNs)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open profile file '%s'", path.c_str());
+    metrics::JsonWriter w(out);
+    w.beginObject();
+    w.key("profile");
+    prof::writeJson(w, data, wallNs);
+    w.endObject();
+    out << '\n';
+    std::cout << "profile written to " << path << '\n';
+}
+
+/**
+ * Per-worker load telemetry of a sweep, on stderr (never stdout: the
+ * sweep's stdout is part of the --jobs bit-identity contract, and
+ * wall times are machine noise).
+ */
+void
+reportWorkerTelemetry(const sim::SweepTelemetry &t)
+{
+    std::cerr << "sweep telemetry: wall "
+              << metrics::format(t.wallS, 3) << " s, " << t.workers.size()
+              << " worker" << (t.workers.size() == 1 ? "" : "s")
+              << ", load imbalance "
+              << metrics::format(t.imbalance(), 2) << "x\n";
+    for (std::size_t i = 0; i < t.workers.size(); ++i) {
+        const auto &w = t.workers[i];
+        std::cerr << "  worker " << i << ": " << w.jobs << " cells ("
+                  << w.steals << " stolen), busy "
+                  << metrics::format(w.busyS, 3) << " s, idle "
+                  << metrics::format(w.idleS, 3) << " s\n";
+    }
+}
+
 /**
  * Write the full run metrics as a single JSON document: the run
  * configuration, throughput, per-IoType latency/phase histograms,
- * channel and die utilization, and the FTL/GC statistics.
+ * channel and die utilization, and the FTL/GC statistics. `profile`
+ * (nullable) adds the self-profile of the measured run.
  */
 void
 writeMetricsFile(const std::string &path, const Options &opt,
                  const ssd::Ssd &dev, const workload::RunResult &result,
-                 const trace::CounterRegistry *counters)
+                 const trace::CounterRegistry *counters,
+                 const prof::ProfileData *profile, double profileWallNs)
 {
     std::ofstream out(path);
     if (!out)
@@ -371,6 +445,11 @@ writeMetricsFile(const std::string &path, const Options &opt,
     if (counters != nullptr) {
         w.key("timeseries");
         counters->writeTimeseries(w);
+    }
+
+    if (profile != nullptr) {
+        w.key("profile");
+        prof::writeJson(w, *profile, profileWallNs);
     }
 
     w.endObject();
@@ -473,7 +552,9 @@ void
 writeMultiTenantMetricsFile(const std::string &path, const Options &opt,
                             const ssd::Ssd &dev,
                             const workload::MultiTenantResult &result,
-                            const trace::CounterRegistry *counters)
+                            const trace::CounterRegistry *counters,
+                            const prof::ProfileData *profile,
+                            double profileWallNs)
 {
     std::ofstream out(path);
     if (!out)
@@ -580,6 +661,11 @@ writeMultiTenantMetricsFile(const std::string &path, const Options &opt,
         counters->writeTimeseries(w);
     }
 
+    if (profile != nullptr) {
+        w.key("profile");
+        prof::writeJson(w, *profile, profileWallNs);
+    }
+
     w.endObject();
     out << '\n';
 }
@@ -641,6 +727,8 @@ runMultiTenant(const Options &opt, const ssd::SsdConfig &config)
     if (sampleIntervalUs > 0) {
         counterRegistry = std::make_unique<trace::CounterRegistry>();
         dev.registerCounters(*counterRegistry);
+        if (opt.profile)
+            prof::registerCounters(*counterRegistry);
         counterRegistry->attachTrace(traceSession.get());
         counterRegistry->installSampler(dev.queue(),
                                         sampleIntervalUs * 1000);
@@ -648,7 +736,14 @@ runMultiTenant(const Options &opt, const ssd::SsdConfig &config)
 
     std::cout << "running " << opt.requests << " requests..."
               << std::flush;
+    const prof::ProfileData profBefore =
+        opt.profile ? prof::snapshot() : prof::ProfileData{};
+    const auto profT0 = std::chrono::steady_clock::now();
     const auto result = driver.run(opt.requests);
+    const double profWallNs = wallNsSince(profT0);
+    const prof::ProfileData profData =
+        opt.profile ? prof::snapshot().since(profBefore)
+                    : prof::ProfileData{};
     std::cout << " done\n\n";
 
     metrics::Table summary({"metric", "value"});
@@ -703,11 +798,20 @@ runMultiTenant(const Options &opt, const ssd::SsdConfig &config)
     std::cout << '\n';
     metrics::gcStatsTable(dev.ftl().gcStats()).print(std::cout);
 
+    if (opt.profile) {
+        std::cout << '\n';
+        prof::report(std::cout, profData, profWallNs);
+    }
+
     if (!opt.metricsOut.empty()) {
         writeMultiTenantMetricsFile(opt.metricsOut, opt, dev, result,
-                                    counterRegistry.get());
+                                    counterRegistry.get(),
+                                    opt.profile ? &profData : nullptr,
+                                    profWallNs);
         std::cout << "\nmetrics written to " << opt.metricsOut << '\n';
     }
+    if (!opt.profileOut.empty())
+        writeProfileSidecar(opt.profileOut, profData, profWallNs);
 
     if (traceSession) {
         std::ofstream traceFile(opt.traceOut);
@@ -766,7 +870,9 @@ runSeedSweep(const Options &opt, const ssd::SsdConfig &config,
               << (jobs == 1 ? "" : "s") << "\nrunning " << opt.seedCount
               << " x " << opt.requests << " requests..." << std::flush;
 
-    const auto results = workload::runCells(cells, jobs, trace);
+    sim::SweepTelemetry telemetry;
+    const auto results =
+        workload::runCells(cells, jobs, trace, &telemetry);
     std::cout << " done\n\n";
 
     // Deterministic merge, strictly in seed (cell) order.
@@ -823,6 +929,26 @@ runSeedSweep(const Options &opt, const ssd::SsdConfig &config,
     std::cout << '\n';
     metrics::gcStatsTable(gcStats).print(std::cout);
 
+    if (opt.profile) {
+        // "% wall" is computed against the workers' aggregate CPU
+        // seconds, not the run's wall clock: with --jobs N the slots
+        // accumulate across N threads at once, and only the aggregate
+        // makes the coverage fraction meaningful.
+        const prof::ProfileData profData =
+            workload::mergeCellProfiles(results);
+        double busySumNs = 0.0;
+        for (const auto &w : telemetry.workers)
+            busySumNs += w.busyS * 1e9;
+        std::cout << '\n';
+        prof::report(std::cout, profData, busySumNs);
+        if (!opt.profileOut.empty())
+            writeProfileSidecar(opt.profileOut, profData, busySumNs);
+        // Worker telemetry goes to stderr: the sweep's stdout and its
+        // --metrics-out file are part of the --jobs bit-identity
+        // contract, and wall times are machine noise.
+        reportWorkerTelemetry(telemetry);
+    }
+
     if (!opt.metricsOut.empty()) {
         writeSweepMetricsFile(opt.metricsOut, opt, cells, results,
                               requests, ftlStats, gcStats);
@@ -837,6 +963,17 @@ int
 main(int argc, char **argv)
 {
     const Options opt = parseArgs(argc, argv);
+
+    if (opt.profile) {
+        if (!prof::compiledIn()) {
+            std::cerr << "cubessd_sim: warning: this binary was built "
+                         "with CUBESSD_PROFILING=OFF; --profile will "
+                         "report no slots\n";
+        }
+        // Enabled before any Ssd or worker thread exists, so every
+        // thread observes the flag at creation.
+        prof::setEnabled(true);
+    }
 
     ssd::SsdConfig config;
     config.chip.geometry.blocksPerChip = opt.blocks;
@@ -957,6 +1094,8 @@ main(int argc, char **argv)
     if (sampleIntervalUs > 0) {
         counterRegistry = std::make_unique<trace::CounterRegistry>();
         dev.registerCounters(*counterRegistry);
+        if (opt.profile)
+            prof::registerCounters(*counterRegistry);
         counterRegistry->attachTrace(traceSession.get());
         counterRegistry->installSampler(dev.queue(),
                                         sampleIntervalUs * 1000);
@@ -964,7 +1103,16 @@ main(int argc, char **argv)
 
     std::cout << " done\nrunning " << opt.requests << " requests..."
               << std::flush;
+    // Snapshot-delta around the measured run only: the prefill's cost
+    // is setup, not what --profile attributes.
+    const prof::ProfileData profBefore =
+        opt.profile ? prof::snapshot() : prof::ProfileData{};
+    const auto profT0 = std::chrono::steady_clock::now();
     const auto result = driver.run(opt.requests);
+    const double profWallNs = wallNsSince(profT0);
+    const prof::ProfileData profData =
+        opt.profile ? prof::snapshot().since(profBefore)
+                    : prof::ProfileData{};
     std::cout << " done\n\n";
 
     metrics::Table table({"metric", "value"});
@@ -1064,11 +1212,19 @@ main(int argc, char **argv)
         chips.print(std::cout);
     }
 
+    if (opt.profile) {
+        std::cout << '\n';
+        prof::report(std::cout, profData, profWallNs);
+    }
+
     if (!opt.metricsOut.empty()) {
         writeMetricsFile(opt.metricsOut, opt, dev, result,
-                         counterRegistry.get());
+                         counterRegistry.get(),
+                         opt.profile ? &profData : nullptr, profWallNs);
         std::cout << "\nmetrics written to " << opt.metricsOut << '\n';
     }
+    if (!opt.profileOut.empty())
+        writeProfileSidecar(opt.profileOut, profData, profWallNs);
 
     if (traceSession) {
         std::ofstream traceFile(opt.traceOut);

@@ -1,9 +1,21 @@
 #!/usr/bin/env python3
 """Gate a perf_events run against the tracked baseline.
 
-Compares the events/s of each measured path in a BENCH_perf.json
-produced by build/bench/perf_events against bench/perf_baseline.json
-and fails (exit 1) when any path regresses by more than the tolerance.
+Compares each measured path of a BENCH_perf.json produced by
+build/bench/perf_events against bench/perf_baseline.json and fails
+(exit 1) when any path's events/s regresses by more than the
+tolerance. The report shows per-section deltas — events/s AND
+ns/event for the micro and workload paths — not just an aggregate
+pass/fail, and when BOTH files carry a per-subsystem "profile"
+section (a --profile run gated against a --profile baseline) it also
+prints the self-ns/call delta of every slot, so a regression names
+the subsystem that caused it.
+
+A gated section missing from either file is a hard error naming the
+file and section. The profile section is optional (informational):
+present in only one file prints a note, never fails the gate — but
+never gate a --profile run against a no-profile baseline's events/s,
+the scope overhead would read as a regression.
 
 Faster-than-baseline results never fail; they print a hint to re-pin
 the baseline when the improvement is large enough to look intentional.
@@ -28,6 +40,99 @@ def load(path):
         sys.exit(f"perf_gate: cannot read {path}: {e}")
 
 
+def section(doc, path_name, key):
+    """A gated section, or a hard error naming file and section."""
+    if key not in doc:
+        sys.exit(
+            f"perf_gate: section '{key}' is missing from {path_name} "
+            f"(has: {', '.join(sorted(doc))}) — was the file produced "
+            "by build/bench/perf_events?"
+        )
+    return doc[key]
+
+
+def gate_paths(result, baseline, args):
+    """Per-path events/s gate + ns/event delta report."""
+    failed = False
+    for path in PATHS:
+        got_sec = section(result, args.result, path)
+        want_sec = section(baseline, args.baseline, path)
+        try:
+            got = float(got_sec["events_per_s"])
+            want = float(want_sec["events_per_s"])
+        except (KeyError, TypeError, ValueError):
+            sys.exit(
+                f"perf_gate: '{path}.events_per_s' is missing or "
+                f"non-numeric in {args.result} or {args.baseline}"
+            )
+        floor = want * (1.0 - args.tolerance)
+        ratio = got / want if want > 0 else float("inf")
+        verdict = "OK"
+        if got < floor:
+            verdict = "REGRESSION"
+            failed = True
+        elif ratio > 1.0 + args.tolerance:
+            verdict = "OK (faster than baseline -- consider re-pinning)"
+        print(
+            f"perf_gate: {path:9s} {got:14,.0f} events/s"
+            f"  baseline {want:14,.0f}  ({ratio:6.2%})  {verdict}"
+        )
+        # ns/event is the same measurement inverted, but it is the
+        # unit the per-subsystem breakdown uses — print the delta so
+        # the two reports line up. The baseline may predate ns_per_event.
+        got_ns = got_sec.get("ns_per_event")
+        want_ns = want_sec.get("ns_per_event")
+        if got_ns is not None and want_ns is not None and want_ns > 0:
+            print(
+                f"perf_gate: {path:9s} {got_ns:14,.1f} ns/event "
+                f"  baseline {want_ns:14,.1f}  "
+                f"({got_ns / want_ns - 1.0:+7.2%})"
+            )
+    return failed
+
+
+def profile_slots(doc):
+    prof = doc.get("profile")
+    if not isinstance(prof, dict) or "slots" not in prof:
+        return None
+    return {s["name"]: s for s in prof["slots"]}
+
+
+def report_profile_delta(result, baseline, result_path, baseline_path):
+    """Informational per-subsystem self-ns/call deltas."""
+    got = profile_slots(result)
+    want = profile_slots(baseline)
+    if got is None and want is None:
+        return
+    if got is None or want is None:
+        which = result_path if got is None else baseline_path
+        print(
+            f"perf_gate: note: no 'profile' section in {which} — "
+            "skipping the per-subsystem breakdown (run "
+            "perf_events --profile on both sides to compare slots)"
+        )
+        return
+    print("perf_gate: per-subsystem self ns/call (result vs baseline):")
+    for name in sorted(set(got) | set(want)):
+        g, w = got.get(name), want.get(name)
+        if g is None or w is None:
+            only = "baseline" if g is None else "result"
+            slot = w if g is None else g
+            print(
+                f"perf_gate:   {name:24s} "
+                f"{slot.get('self_ns_per_call', 0.0):10,.1f}"
+                f"  (only in {only})"
+            )
+            continue
+        gv = float(g.get("self_ns_per_call", 0.0))
+        wv = float(w.get("self_ns_per_call", 0.0))
+        delta = f"{gv / wv - 1.0:+7.2%}" if wv > 0 else "    n/a"
+        print(
+            f"perf_gate:   {name:24s} {gv:10,.1f}  baseline "
+            f"{wv:10,.1f}  ({delta})"
+        )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("result", help="BENCH_perf.json from perf_events")
@@ -47,25 +152,8 @@ def main():
     result = load(args.result)
     baseline = load(args.baseline)
 
-    failed = False
-    for path in PATHS:
-        try:
-            got = float(result[path]["events_per_s"])
-            want = float(baseline[path]["events_per_s"])
-        except (KeyError, TypeError, ValueError):
-            sys.exit(f"perf_gate: missing {path}.events_per_s in input")
-        floor = want * (1.0 - args.tolerance)
-        ratio = got / want if want > 0 else float("inf")
-        verdict = "OK"
-        if got < floor:
-            verdict = "REGRESSION"
-            failed = True
-        elif ratio > 1.0 + args.tolerance:
-            verdict = "OK (faster than baseline -- consider re-pinning)"
-        print(
-            f"perf_gate: {path:9s} {got:14,.0f} events/s"
-            f"  baseline {want:14,.0f}  ({ratio:6.2%})  {verdict}"
-        )
+    failed = gate_paths(result, baseline, args)
+    report_profile_delta(result, baseline, args.result, args.baseline)
 
     if failed:
         print(
