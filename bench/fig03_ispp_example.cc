@@ -16,6 +16,7 @@
  * (Fig. 7's step 3).
  */
 
+#include <algorithm>
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -83,10 +84,13 @@ main()
               << " us\n";
 
     const std::vector<int> paperSchedule{3, 3, 3, 2, 2, 1, 1};
+    const bool scheduleMatches = std::equal(
+        schedule.begin(), schedule.end(), paperSchedule.begin(),
+        paperSchedule.end());
     metrics::PaperComparison cmp("Fig. 3 (MLC ISPP example)");
     cmp.add("verify schedule k_i", "3 3 3 2 2 1 1",
-            schedule == paperSchedule ? "3 3 3 2 2 1 1 (exact match)"
-                                      : "differs (see above)");
+            scheduleMatches ? "3 3 3 2 2 1 1 (exact match)"
+                            : "differs (see above)");
     cmp.add("tPROG follows Eq. (1)", "by definition",
             static_cast<std::size_t>(result.loopsUsed) ==
                         schedule.size() &&

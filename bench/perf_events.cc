@@ -200,6 +200,33 @@ microBench(std::uint64_t totalEvents)
     return best;
 }
 
+/** Device-wide term-cache counter totals after a workload run. */
+struct TermCacheTotals
+{
+    std::uint64_t wlHits = 0;
+    std::uint64_t wlMisses = 0;
+    std::uint64_t agingHits = 0;
+    std::uint64_t agingMisses = 0;
+
+    double
+    wlHitRate() const
+    {
+        const std::uint64_t total = wlHits + wlMisses;
+        return total ? static_cast<double>(wlHits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    double
+    agingHitRate() const
+    {
+        const std::uint64_t total = agingHits + agingMisses;
+        return total ? static_cast<double>(agingHits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
 /**
  * Workload path: cubeFTL + OLTP closed loop on the scaled device,
  * prefilled. Only the measured run is timed (prefill excluded), so the
@@ -207,7 +234,7 @@ microBench(std::uint64_t totalEvents)
  */
 PathResult
 workloadBench(std::uint64_t requests, double *iopsOut,
-              prof::ProfileData *profileOut)
+              prof::ProfileData *profileOut, TermCacheTotals *cacheOut)
 {
     ssd::Ssd dev(bench::ssdConfig(ssd::FtlKind::Cube, 42));
     workload::WorkloadSpec spec{};
@@ -234,6 +261,15 @@ workloadBench(std::uint64_t requests, double *iopsOut,
     r.wallS = wallSeconds(t0, t1);
     if (iopsOut != nullptr)
         *iopsOut = result.iops;
+    if (cacheOut != nullptr) {
+        for (std::uint32_t i = 0; i < dev.chipCount(); ++i) {
+            const auto &c = dev.chip(i).termCache().counters();
+            cacheOut->wlHits += c.wlHits;
+            cacheOut->wlMisses += c.wlMisses;
+            cacheOut->agingHits += c.agingHits;
+            cacheOut->agingMisses += c.agingMisses;
+        }
+    }
     return r;
 }
 
@@ -287,10 +323,18 @@ main(int argc, char **argv)
     // measure the raw queue, and its profile is just sim.loop/sched.
     double iops = 0.0;
     prof::ProfileData profData;
-    const PathResult workload =
-        workloadBench(requests, &iops, profile ? &profData : nullptr);
+    TermCacheTotals cache;
+    const PathResult workload = workloadBench(
+        requests, &iops, profile ? &profData : nullptr, &cache);
     printPath("workload ", workload);
     std::cout << "  workload iops: " << metrics::format(iops, 0) << "\n";
+    std::cout << "  term cache: "
+              << metrics::format(100.0 * cache.wlHitRate(), 1)
+              << "% WL hit rate ("
+              << cache.wlHits << " hits / " << cache.wlMisses
+              << " misses), "
+              << metrics::format(100.0 * cache.agingHitRate(), 1)
+              << "% aging hit rate\n";
 
     if (profile) {
         std::cout << '\n';
@@ -306,6 +350,15 @@ main(int argc, char **argv)
     writePath(json, "workload", workload);
     json.field("workload_requests", requests);
     json.field("workload_iops", iops);
+    json.key("term_cache");
+    json.beginObject();
+    json.field("wl_hits", cache.wlHits);
+    json.field("wl_misses", cache.wlMisses);
+    json.field("wl_hit_rate", cache.wlHitRate());
+    json.field("aging_hits", cache.agingHits);
+    json.field("aging_misses", cache.agingMisses);
+    json.field("aging_hit_rate", cache.agingHitRate());
+    json.endObject();
     if (profile) {
         json.key("profile");
         prof::writeJson(json, profData, workload.wallS * 1e9);

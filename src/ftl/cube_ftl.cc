@@ -123,7 +123,13 @@ CubeFtl::finalizeChoice(std::uint32_t chip, const WlChoice &pick)
     auto &cs = state_[chip];
     const LeaderParams &params =
         cs.params[paramKey(pick.wl.block, pick.wl.layer)];
-    if (params.valid) {
+    // Epoch gate on the low 32 bits (the erase count) only: retention
+    // advances age leader and follower identically, so parameters stay
+    // applicable across them — but never across an erase of the block.
+    const bool epochMatches =
+        static_cast<std::uint32_t>(params.epoch) ==
+        chipModel(chip).eraseCount(pick.wl.block);
+    if (params.valid && epochMatches) {
         choice.cmd = params.followerCommand(features_.vfySkip,
                                             features_.windowAdjust);
         choice.monitor = false;
@@ -179,9 +185,11 @@ CubeFtl::onProgramComplete(std::uint32_t chip,
 {
     if (choice.monitor) {
         PROF_SCOPE(prof::Slot::FtlOpm);
+        LeaderParams params = opm_.derive(
+            result, chipModel(chip).blockAging(choice.wl.block));
+        params.epoch = chipModel(chip).blockEpoch(choice.wl.block);
         state_[chip].params[paramKey(choice.wl.block, choice.wl.layer)] =
-            opm_.derive(result,
-                        chipModel(chip).blockAging(choice.wl.block));
+            params;
     }
 }
 

@@ -834,6 +834,30 @@ FtlBase::checkConsistency() const
         panic("consistency: %llu valid pages vs %llu mapped LBAs",
               static_cast<unsigned long long>(valid),
               static_cast<unsigned long long>(mapped));
+
+    // The FTL's wear bookkeeping must track the chips' runtime erase
+    // counts — the low half of the aging epoch that gates cached
+    // leader parameters (CubeFtl) and model terms (ErrorTermCache).
+    // The chip counter leads by at most one: it increments when the
+    // die executes the erase, the BlockManager's on the completion
+    // event (release). Retired blocks are exempt: a failed erase still
+    // bumps the chip counter, but the block never returns through
+    // release().
+    for (std::uint32_t chip = 0; chip < chips_.size(); ++chip) {
+        const auto &mgr = blockMgrs_[chip];
+        const auto &model = chips_[chip].chip();
+        for (std::uint32_t b = 0; b < geometry().blocksPerChip; ++b) {
+            const BlockInfo &info = mgr.info(b);
+            if (info.isBad)
+                continue;
+            const PeCycles onChip = model.eraseCount(b);
+            if (info.eraseCount != onChip &&
+                info.eraseCount + 1 != onChip)
+                panic("consistency: chip %u block %u erase count %u "
+                      "(FTL) vs %u (chip)",
+                      chip, b, info.eraseCount, onChip);
+        }
+    }
 }
 
 }  // namespace cubessd::ftl

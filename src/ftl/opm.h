@@ -67,6 +67,14 @@ struct LeaderParams
     double leaderBerEp1Norm = 0.0;
     /** BER multiplier the adjustment is expected to cost. */
     double expectedMultiplier = 1.0;
+    /** Aging epoch of the leader's block when these parameters were
+     *  derived (NandChip::blockEpoch). Followers only apply them while
+     *  the block's erase count still matches: stale parameters from a
+     *  block generation that has since been erased would be unsafe.
+     *  (The FTL's explicit onBlockErased flush already guarantees
+     *  this — the gate turns the convention into a checked invariant
+     *  at zero behavioral cost.) */
+    std::uint64_t epoch = 0;
 
     /** Total V_Start + V_Final adjustment granted. */
     MilliVolt totalAdjustMv() const { return vStartAdjMv + vFinalAdjMv; }

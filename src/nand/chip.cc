@@ -15,6 +15,7 @@ NandChip::NandChip(const NandChipConfig &config)
       ecc_(config.ecc),
       read_(config.read, vth_, errors_, ecc_),
       faults_(config.faults, errors_, config.seed),
+      terms_(config.geometry, process_, errors_, vth_, ispp_),
       rng_(config.seed ^ 0xC0FFEE123456789ull)
 {
     blocks_.resize(config_.geometry.blocksPerChip);
@@ -93,12 +94,11 @@ NandChip::programWl(const WlAddr &addr, const ProgramCommand &cmd,
         panic("programWl: WL (b%u l%u w%u) programmed without erase",
               addr.block, addr.layer, addr.wl);
 
-    const double q = process_.wlQuality(addr);
-    const double speed = process_.programSpeedMv(addr);
     const AgingState aging = blockAging(addr.block);
+    const WlTerms t = terms_.terms(addr, block.eraseCount, aging);
 
-    WlProgramResult result = ispp_.program(
-        q, speed, aging, process_.chipFactor(), cmd, rng_);
+    WlProgramResult result = ispp_.programWithTerms(
+        t.q, t.speedMv, t.severity, t.sigma, t.normBase, cmd, rng_);
 
     if (cmd.nonDefault()) {
         result.tProg += config_.timing.tFeatureSet;
@@ -108,7 +108,7 @@ NandChip::programWl(const WlAddr &addr, const ProgramCommand &cmd,
     bool programFailed;
     {
         PROF_SCOPE(prof::Slot::NandFaultCheck);
-        programFailed = faults_.programFails(q, aging);
+        programFailed = faults_.programFails(t.q, aging);
     }
     if (programFailed) {
         // Status fail after the full program attempt: the WL holds no
@@ -154,16 +154,17 @@ NandChip::readPage(const PageAddr &addr, MilliVolt appliedShiftMv,
         panic("readPage: page (b%u l%u w%u p%u) not programmed",
               addr.block, addr.layer, addr.wl, addr.page);
 
-    const double q = process_.wlQuality(addr.wlAddr());
     const AgingState aging = blockAging(addr.block);
+    const WlTerms t =
+        terms_.terms(addr.wlAddr(), block.eraseCount, aging);
 
-    ReadOutcome out = read_.read(addr.block, q, aging,
-                                 process_.chipFactor(),
-                                 static_cast<double>(wl.berMultiplier),
-                                 appliedShiftMv, rng_, softHint,
-                                 faults_.enabled()
-                                     ? config_.faults.uncorrectableNormLimit
-                                     : 0.0);
+    ReadOutcome out =
+        read_.readFromTerms(t.shiftBase, t.normBase,
+                            static_cast<double>(wl.berMultiplier),
+                            appliedShiftMv, rng_, softHint,
+                            faults_.enabled()
+                                ? config_.faults.uncorrectableNormLimit
+                                : 0.0);
     if (appliedShiftMv != 0) {
         out.tRead += config_.timing.tFeatureSet;
         ++stats_.featureSets;
@@ -182,14 +183,17 @@ NandChip::measureBerNorm(const PageAddr &addr)
 {
     if (!codec_.contains(addr))
         panic("measureBerNorm: page address out of range");
-    const auto &wl = blocks_[addr.block].wls[wlIndex(addr.wlAddr())];
+    const auto &block = blocks_[addr.block];
+    const auto &wl = block.wls[wlIndex(addr.wlAddr())];
     if (!(wl.programmedPages & (1u << addr.page)))
         panic("measureBerNorm: page not programmed");
-    const double q = process_.wlQuality(addr.wlAddr());
+    // The cached normBase IS normalizedBer(q, aging, chipFactor) —
+    // same expression, same bits (tests/test_term_cache.cc) — and
+    // monitoring reads hammer this path once per leader program.
+    const WlTerms t = terms_.terms(addr.wlAddr(), block.eraseCount,
+                                   blockAging(addr.block));
     const double aligned =
-        errors_.normalizedBer(q, blockAging(addr.block),
-                              process_.chipFactor()) *
-        static_cast<double>(wl.berMultiplier);
+        t.normBase * static_cast<double>(wl.berMultiplier);
     // RTN-scale measurement noise (paper: <3% across a sequence).
     return aligned * (1.0 + 0.005 * rng_.normal());
 }

@@ -35,6 +35,7 @@
 #include "src/nand/ispp.h"
 #include "src/nand/process_model.h"
 #include "src/nand/read_model.h"
+#include "src/nand/term_cache.h"
 #include "src/nand/timing.h"
 #include "src/nand/vth_model.h"
 
@@ -97,8 +98,26 @@ class NandChip
      * characterization rig does with pre-cycling and bake (Sec. 3.1).
      * Runtime erases add on top of the injected P/E count.
      */
-    void setAging(const AgingState &aging) { baseAging_ = aging; }
+    void
+    setAging(const AgingState &aging)
+    {
+        baseAging_ = aging;
+        // Every block's effective aging changed: advance the cache's
+        // retention generation so all epoch-tagged terms recompute.
+        terms_.bumpRetentionGen();
+    }
     const AgingState &baseAging() const { return baseAging_; }
+
+    /** Aging epoch of a block (retention generation + erase count);
+     *  changes exactly when the block's cached model terms change. */
+    std::uint64_t
+    blockEpoch(std::uint32_t block) const
+    {
+        return terms_.epochOf(blocks_.at(block).eraseCount);
+    }
+
+    /** Model-term memoization layer (counters for metrics/tests). */
+    const ErrorTermCache &termCache() const { return terms_; }
 
     /** Effective aging of one block (injected + runtime erases). */
     AgingState blockAging(std::uint32_t block) const;
@@ -199,6 +218,7 @@ class NandChip
     ecc::EccModel ecc_;
     ReadModel read_;
     FaultInjector faults_;
+    ErrorTermCache terms_;
     Rng rng_;
     AgingState baseAging_{};
     std::vector<BlockState> blocks_;

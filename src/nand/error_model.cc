@@ -34,26 +34,34 @@ ErrorModel::retentionBer(double q, const AgingState &aging,
     return params_.baseBer * normalizedBer(q, aging, chipFactor);
 }
 
-double
-ErrorModel::normalizedBer(double q, const AgingState &aging,
-                          double chipFactor) const
+ErrorTerms
+ErrorModel::terms(const AgingState &aging) const
 {
+    ErrorTerms t;
     const double x = static_cast<double>(aging.peCycles) / 1000.0;
-    const double peGrowth = 1.0 + params_.peA * std::pow(x, params_.peP);
-    const double retGrowth =
+    t.peGrowth = 1.0 + params_.peA * std::pow(x, params_.peP);
+    t.retGrowth =
         1.0 + params_.retB *
                   std::log(1.0 + std::max(0.0, aging.retentionMonths));
     // Worse layers age faster: the quality exponent grows with severity,
     // producing the nonlinear layer divergence of Fig. 6(c).
-    const double exponent = 1.0 + params_.qualityAmp * severity(aging);
-    return chipFactor * std::pow(q, exponent) * peGrowth * retGrowth;
+    t.severity = severity(aging);
+    t.exponent = 1.0 + params_.qualityAmp * t.severity;
+    return t;
+}
+
+double
+ErrorModel::normalizedBer(double q, const AgingState &aging,
+                          double chipFactor) const
+{
+    return normalizedBerFromTerms(q, terms(aging), chipFactor);
 }
 
 double
 ErrorModel::berEp1Norm(double q, const AgingState &aging,
                        double chipFactor) const
 {
-    return params_.ep1Fraction * normalizedBer(q, aging, chipFactor);
+    return berEp1NormFromBase(normalizedBer(q, aging, chipFactor));
 }
 
 double

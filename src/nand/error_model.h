@@ -19,6 +19,8 @@
 #ifndef CUBESSD_NAND_ERROR_MODEL_H
 #define CUBESSD_NAND_ERROR_MODEL_H
 
+#include <cmath>
+
 #include "src/common/types.h"
 
 namespace cubessd::nand {
@@ -65,6 +67,21 @@ struct ErrorParams
 };
 
 /**
+ * The aging-dependent sub-expressions of normalizedBer(), evaluated
+ * once per AgingState and reused for every WL quality factor (see
+ * nand::ErrorTermCache). Produced by ErrorModel::terms() with the
+ * exact same double-precision expressions normalizedBer() uses, so a
+ * cached evaluation is bit-identical to a direct one.
+ */
+struct ErrorTerms
+{
+    double severity = 0.0;
+    double peGrowth = 1.0;
+    double retGrowth = 1.0;
+    double exponent = 1.0;
+};
+
+/**
  * Pure-function reliability model; all state lives in the arguments so
  * the same instance serves every chip.
  */
@@ -80,6 +97,30 @@ class ErrorModel
      * with end-of-life retention.
      */
     double severity(const AgingState &aging) const;
+
+    /** The aging-dependent terms of normalizedBer(), factored out for
+     *  memoization. */
+    ErrorTerms terms(const AgingState &aging) const;
+
+    /**
+     * normalizedBer() evaluated from precomputed terms. Same
+     * expression, same association order: bit-identical to the direct
+     * overload for terms produced by terms(aging).
+     */
+    double
+    normalizedBerFromTerms(double q, const ErrorTerms &t,
+                           double chipFactor = 1.0) const
+    {
+        return chipFactor * std::pow(q, t.exponent) * t.peGrowth *
+               t.retGrowth;
+    }
+
+    /** berEp1Norm() from an already-evaluated normalizedBer(). */
+    double
+    berEp1NormFromBase(double normalizedBer) const
+    {
+        return params_.ep1Fraction * normalizedBer;
+    }
 
     /**
      * Absolute retention BER of a WL with quality q under `aging`,

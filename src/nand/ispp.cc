@@ -26,17 +26,25 @@ IsppEngine::stateLoops(double speedMv, double q, const AgingState &aging,
                        MilliVolt vStartAdjMv) const
 {
     const double sev = errors_.severity(aging);
-    const double sigma = config_.cellSigmaMv * (1.0 + config_.sigmaAging *
-                                                          sev);
-    const double mu = speedMv - config_.speedAging * sev * (q - 1.0);
+    return stateLoopsFromTerms(speedMv, q, sev, effectiveSigma(sev),
+                               vStartAdjMv);
+}
+
+std::array<StateLoops, kTlcStates>
+IsppEngine::stateLoopsFromTerms(double speedMv, double q, double severity,
+                                double sigma,
+                                MilliVolt vStartAdjMv) const
+{
+    const double mu =
+        speedMv - config_.speedAging * severity * (q - 1.0);
     const double dv = static_cast<double>(config_.deltaVMv);
+    const double fast = mu + 3.0 * sigma;
+    const double slow = mu - 3.0 * sigma;
 
     std::array<StateLoops, kTlcStates> out{};
     for (int s = 1; s <= config_.programStates; ++s) {
         const double target =
             static_cast<double>(config_.stateTargetMv(s) - vStartAdjMv);
-        const double fast = mu + 3.0 * sigma;
-        const double slow = mu - 3.0 * sigma;
         const int lMin = std::max(
             1, static_cast<int>(std::ceil((target - fast) / dv)));
         const int lMax = std::max(
@@ -57,17 +65,22 @@ IsppEngine::safeSkipPlan(const std::array<StateLoops, kTlcStates> &loops)
     return plan;
 }
 
-std::vector<int>
+VerifySchedule
 IsppEngine::defaultVerifySchedule(
     const std::array<StateLoops, kTlcStates> &loops) const
 {
     const int last =
         loops[static_cast<std::size_t>(config_.programStates) - 1].lMax;
-    std::vector<int> schedule(static_cast<std::size_t>(last), 0);
+    if (last > VerifySchedule::kMaxLoops)
+        fatal("defaultVerifySchedule: %d loops exceeds the %d-loop "
+              "bound (mis-calibrated ISPP configuration?)",
+              last, VerifySchedule::kMaxLoops);
+    VerifySchedule schedule;
+    schedule.loops = last;
     for (int i = 1; i <= last; ++i) {
         for (int s = 0; s < config_.programStates; ++s) {
             if (loops[static_cast<std::size_t>(s)].lMax >= i)
-                ++schedule[static_cast<std::size_t>(i - 1)];
+                ++schedule.counts[static_cast<std::size_t>(i - 1)];
         }
     }
     return schedule;
@@ -78,6 +91,19 @@ IsppEngine::program(double q, double speedMv, const AgingState &aging,
                     double chipFactor, const ProgramCommand &cmd,
                     Rng &rng) const
 {
+    // Direct (uncached) entry: evaluate the aging terms here, exactly
+    // as ErrorTermCache does, and run the shared implementation.
+    const double sev = errors_.severity(aging);
+    return programWithTerms(q, speedMv, sev, effectiveSigma(sev),
+                            errors_.normalizedBer(q, aging, chipFactor),
+                            cmd, rng);
+}
+
+WlProgramResult
+IsppEngine::programWithTerms(double q, double speedMv, double severity,
+                             double sigma, double normBase,
+                             const ProgramCommand &cmd, Rng &rng) const
+{
     PROF_SCOPE(prof::Slot::NandProgramIspp);
     WlProgramResult result;
 
@@ -85,7 +111,8 @@ IsppEngine::program(double q, double speedMv, const AgingState &aging,
     // is what occasionally invalidates a leader's monitored parameters
     // and trips the safety check (Sec. 4.1.4).
     const double opSpeed = speedMv + rng.normal(0.0, 2.0);
-    result.loops = stateLoops(opSpeed, q, aging, cmd.vStartAdjMv);
+    result.loops = stateLoopsFromTerms(opSpeed, q, severity, sigma,
+                                       cmd.vStartAdjMv);
 
     const int maxLoopAllowed = std::max(
         1, (config_.windowMv - cmd.vStartAdjMv - cmd.vFinalAdjMv) /
@@ -120,27 +147,54 @@ IsppEngine::program(double q, double speedMv, const AgingState &aging,
             // over-programs them (Fig. 8(a)).
             const int extra =
                 cmd.skipVfy[static_cast<std::size_t>(s)] - (win.lMin - 1);
-            result.berMultiplier *=
-                errors_.overProgramMultiplier(extra, s + 1);
+            result.berMultiplier *= overMultiplier(extra, s + 1);
         }
     }
 
     // Shrinking the ISPP window costs BER margin (Sec. 4.1.2): a raised
     // V_Start overshoots the fastest P1 cells, a lowered V_Final leaves
     // the slowest P7 cells under-programmed.
-    result.berMultiplier *= errors_.windowShrinkMultiplier(
-        static_cast<double>(cmd.totalShrinkMv()));
+    result.berMultiplier *= shrinkMultiplier(cmd.totalShrinkMv());
 
     result.tProg =
         static_cast<SimTime>(result.loopsUsed) * config_.tPgm +
         static_cast<SimTime>(result.verifiesDone) * config_.tVfy;
 
     // Monitored health indicator, with measurement noise.
-    result.berEp1Norm = errors_.berEp1Norm(q, aging, chipFactor) *
+    result.berEp1Norm = errors_.berEp1NormFromBase(normBase) *
                         (1.0 + 0.03 * rng.normal());
     result.berEp1Norm = std::max(result.berEp1Norm, 0.0);
 
     return result;
+}
+
+double
+IsppEngine::shrinkMultiplier(MilliVolt shrinkMv) const
+{
+    if (shrinkMv <= 0)
+        return 1.0;  // matches windowShrinkMultiplier's early-out
+    if (shrinkMv >= kShrinkCacheSize)
+        return errors_.windowShrinkMultiplier(
+            static_cast<double>(shrinkMv));
+    double &slot = shrinkMult_[static_cast<std::size_t>(shrinkMv)];
+    if (slot == 0.0)
+        slot = errors_.windowShrinkMultiplier(
+            static_cast<double>(shrinkMv));
+    return slot;
+}
+
+double
+IsppEngine::overMultiplier(int extraSkips, int state) const
+{
+    if (extraSkips <= 0)
+        return 1.0;  // matches overProgramMultiplier's early-out
+    if (extraSkips >= VerifySchedule::kMaxLoops)
+        return errors_.overProgramMultiplier(extraSkips, state);
+    double &slot = overMult_[static_cast<std::size_t>(extraSkips)]
+                           [static_cast<std::size_t>(state - 1)];
+    if (slot == 0.0)
+        slot = errors_.overProgramMultiplier(extraSkips, state);
+    return slot;
 }
 
 }  // namespace cubessd::nand

@@ -27,7 +27,6 @@
 #define CUBESSD_NAND_ISPP_H
 
 #include <array>
-#include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/types.h"
@@ -85,6 +84,28 @@ struct StateLoops
     int lMax = 1;  ///< loop on which the slowest cells arrive
 };
 
+/**
+ * Per-loop VFY counts (k_i for ISPP loop i), fixed-capacity so
+ * computing a schedule never touches the heap. Container-like just
+ * enough for the characterization benches and tests.
+ */
+struct VerifySchedule
+{
+    /** Generous bound: the default window runs 16 loops; anything
+     *  near this limit indicates a mis-calibrated configuration. */
+    static constexpr int kMaxLoops = 64;
+
+    std::array<int, kMaxLoops> counts{};
+    int loops = 0;  ///< number of valid entries
+
+    std::size_t size() const { return static_cast<std::size_t>(loops); }
+    bool empty() const { return loops == 0; }
+    int operator[](std::size_t i) const { return counts[i]; }
+    int front() const { return counts[0]; }
+    const int *begin() const { return counts.data(); }
+    const int *end() const { return counts.data() + loops; }
+};
+
 /** PS-aware knobs applied to one WL program (default = leader/PS-unaware). */
 struct ProgramCommand
 {
@@ -127,7 +148,9 @@ struct WlProgramResult
 };
 
 /**
- * Stateless ISPP computation engine (per-chip state lives in NandChip).
+ * ISPP computation engine (per-chip NAND state lives in NandChip; the
+ * engine itself only carries lazy memo tables of its own pure
+ * functions).
  */
 class IsppEngine
 {
@@ -145,12 +168,26 @@ class IsppEngine
     stateLoops(double speedMv, double q, const AgingState &aging,
                MilliVolt vStartAdjMv) const;
 
+    /** Aging-widened cell-speed spread, factored out for memoization. */
+    double
+    effectiveSigma(double severity) const
+    {
+        return config_.cellSigmaMv * (1.0 + config_.sigmaAging *
+                                                severity);
+    }
+
+    /** stateLoops() from precomputed severity/sigma terms (the same
+     *  values stateLoops derives from `aging`; see ErrorTermCache). */
+    std::array<StateLoops, kTlcStates>
+    stateLoopsFromTerms(double speedMv, double q, double severity,
+                        double sigma, MilliVolt vStartAdjMv) const;
+
     /**
      * The default (PS-unaware) verify schedule: k_i, the number of
      * VFY steps in ISPP loop i (paper Fig. 3(b) — every state not yet
      * completed is verified on every loop).
      */
-    std::vector<int>
+    VerifySchedule
     defaultVerifySchedule(
         const std::array<StateLoops, kTlcStates> &loops) const;
 
@@ -169,6 +206,20 @@ class IsppEngine
                             const ProgramCommand &cmd, Rng &rng) const;
 
     /**
+     * program() with the aging-dependent model terms supplied by the
+     * caller (NandChip's ErrorTermCache): `severity` and `sigma` as
+     * stateLoops would derive them from the aging state, and
+     * `normBase` = ErrorModel::normalizedBer(q, aging, chipFactor).
+     * Scalar arguments on purpose — the cache stays decoupled from
+     * this header. Bit-identical to program() by construction.
+     */
+    WlProgramResult programWithTerms(double q, double speedMv,
+                                     double severity, double sigma,
+                                     double normBase,
+                                     const ProgramCommand &cmd,
+                                     Rng &rng) const;
+
+    /**
      * The paper's safe skip plan (Sec. 4.1.1): for state s skip the
      * VFYs of all loops before the leader's observed L_min(s).
      */
@@ -176,8 +227,27 @@ class IsppEngine
     safeSkipPlan(const std::array<StateLoops, kTlcStates> &leaderLoops);
 
   private:
+    /** Memoized ErrorModel::windowShrinkMultiplier keyed by the integer
+     *  shrink (mV). Every follower program pays this multiplier, and the
+     *  same few shrink values repeat for the device's lifetime — but the
+     *  underlying pow() must only run once per distinct input so the
+     *  cached double is the exact same expression result (the fig17/18
+     *  bit-identity contract). 0.0 marks an unfilled entry: a real
+     *  multiplier is always >= 1. */
+    double shrinkMultiplier(MilliVolt shrinkMv) const;
+
+    /** Memoized ErrorModel::overProgramMultiplier, same contract:
+     *  extraSkips is a small loop count, state is 1-based. */
+    double overMultiplier(int extraSkips, int state) const;
+
     IsppConfig config_;
     const ErrorModel &errors_;
+
+    static constexpr int kShrinkCacheSize = 2048;
+    mutable std::array<double, kShrinkCacheSize> shrinkMult_{};
+    mutable std::array<std::array<double, kTlcStates>,
+                       VerifySchedule::kMaxLoops>
+        overMult_{};
 };
 
 }  // namespace cubessd::nand

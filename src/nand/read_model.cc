@@ -26,16 +26,30 @@ ReadModel::read(std::uint32_t block, double q, const AgingState &aging,
                 MilliVolt appliedShiftMv, Rng &rng, bool softHint,
                 double uncorrectableNormLimit) const
 {
+    // Direct (uncached) entry: evaluate the deterministic WL terms
+    // here, exactly as ErrorTermCache does, and run the shared
+    // implementation.
+    return readFromTerms(vth_.optimalShiftMv(block, q, aging, errors_),
+                         errors_.normalizedBer(q, aging, chipFactor),
+                         berMultiplier, appliedShiftMv, rng, softHint,
+                         uncorrectableNormLimit);
+}
+
+ReadOutcome
+ReadModel::readFromTerms(double shiftBase, double normBase,
+                         double berMultiplier, MilliVolt appliedShiftMv,
+                         Rng &rng, bool softHint,
+                         double uncorrectableNormLimit) const
+{
     ReadOutcome out;
 
     double optimal;
     double alignedNorm;
     {
         PROF_SCOPE(prof::Slot::NandReadBerEval);
-        optimal = vth_.optimalShiftMv(block, q, aging, errors_) +
+        optimal = shiftBase +
                   rng.normal(0.0, vth_.params().readJitterMv);
-        alignedNorm =
-            errors_.normalizedBer(q, aging, chipFactor) * berMultiplier;
+        alignedNorm = normBase * berMultiplier;
     }
     // Injected fault: the WL is degraded beyond what any reference
     // shift can recover, so every ECC attempt fails and the walk runs
@@ -47,50 +61,66 @@ ReadModel::read(std::uint32_t block, double q, const AgingState &aging,
     MilliVolt step = vth_.params().retryStepMv;
     int attempts = 0;
     SimTime decodeTime = 0;
-    PROF_SCOPE(prof::Slot::NandReadRetry);
-    for (;;) {
+
+    // One sense + ECC attempt at the current reference shift.
+    const auto senseAttempt = [&]() -> bool {
         const double miss =
             std::abs(optimal - static_cast<double>(applied));
         out.rawBerNorm = rawBerNorm(alignedNorm, miss);
         decodeTime +=
             ecc_.decodeLatencyNs(out.rawBerNorm * baseBer, softHint);
-        if (!beyondRecovery && ecc_.correctable(out.rawBerNorm * baseBer)) {
-            if (attempts == 0) {
-                out.successShiftMv = applied;
-            } else {
-                // The retry walk stops at the *edge* of the decodable
-                // window; controllers then run a fine calibration so
-                // the remembered offset sits at the window center
-                // (otherwise every reuse teeters on the edge). Model:
-                // snap to the optimum at DAC granularity.
-                out.successShiftMv = static_cast<MilliVolt>(
-                    std::lround(optimal / 10.0) * 10);
-            }
-            break;
-        }
-        if (attempts >= params_.maxRetries) {
-            out.uncorrectable = true;
+        return !beyondRecovery &&
+               ecc_.correctable(out.rawBerNorm * baseBer);
+    };
+
+    {
+        // The decode slot covers the whole walk; the retry slot only
+        // opens when the first attempt failed, so its count is the
+        // number of reads that actually retried (not all reads).
+        PROF_SCOPE(prof::Slot::NandReadDecode);
+        if (senseAttempt()) {
             out.successShiftMv = applied;
-            break;
+        } else {
+            PROF_SCOPE(prof::Slot::NandReadRetry);
+            for (;;) {
+                if (attempts >= params_.maxRetries) {
+                    out.uncorrectable = true;
+                    out.successShiftMv = applied;
+                    break;
+                }
+                ++attempts;
+                // Retry table: walk the shift toward the drift
+                // direction (retention always lowers Vth, so deeper
+                // shifts), one step per retry. Vendor tables refine
+                // once the coarse sweep brackets the window: when the
+                // walk crosses the optimum, switch to fine steps so
+                // narrow end-of-life windows are not jumped over.
+                const bool below =
+                    static_cast<double>(applied) < optimal;
+                const MilliVolt next =
+                    below ? applied + step : applied - step;
+                const bool crosses = below
+                    ? static_cast<double>(next) > optimal
+                    : static_cast<double>(next) < optimal;
+                if (crosses && step > 10)
+                    step = 10;
+                if (below)
+                    applied += step;
+                else
+                    applied -= step;
+                if (senseAttempt()) {
+                    // The retry walk stops at the *edge* of the
+                    // decodable window; controllers then run a fine
+                    // calibration so the remembered offset sits at the
+                    // window center (otherwise every reuse teeters on
+                    // the edge). Model: snap to the optimum at DAC
+                    // granularity.
+                    out.successShiftMv = static_cast<MilliVolt>(
+                        std::lround(optimal / 10.0) * 10);
+                    break;
+                }
+            }
         }
-        ++attempts;
-        // Retry table: walk the shift toward the drift direction
-        // (retention always lowers Vth, so deeper shifts), one step
-        // per retry. Vendor tables refine once the coarse sweep
-        // brackets the window: when the walk crosses the optimum,
-        // switch to fine steps so narrow end-of-life windows are not
-        // jumped over.
-        const bool below = static_cast<double>(applied) < optimal;
-        const MilliVolt next = below ? applied + step : applied - step;
-        const bool crosses = below
-            ? static_cast<double>(next) > optimal
-            : static_cast<double>(next) < optimal;
-        if (crosses && step > 10)
-            step = 10;
-        if (below)
-            applied += step;
-        else
-            applied -= step;
     }
 
     out.numRetries = attempts;

@@ -89,6 +89,20 @@ class ReadModel
                      double uncorrectableNormLimit = 0.0) const;
 
     /**
+     * read() with the WL's deterministic model terms supplied by the
+     * caller (NandChip's ErrorTermCache): `shiftBase` =
+     * VthModel::optimalShiftMv(block, q, aging) and `normBase` =
+     * ErrorModel::normalizedBer(q, aging, chipFactor). Only the
+     * per-read jitter draw and the decode walk remain; bit-identical
+     * to read() by construction.
+     */
+    ReadOutcome readFromTerms(double shiftBase, double normBase,
+                              double berMultiplier,
+                              MilliVolt appliedShiftMv, Rng &rng,
+                              bool softHint = false,
+                              double uncorrectableNormLimit = 0.0) const;
+
+    /**
      * Raw BER of a sense at `missMv` away from the optimal references
      * for a WL whose aligned normalized BER is `alignedNorm`.
      */

@@ -1,0 +1,73 @@
+#include "src/nand/term_cache.h"
+
+#include "src/prof/prof.h"
+
+namespace cubessd::nand {
+
+ErrorTermCache::ErrorTermCache(const NandGeometry &geom,
+                               const ProcessModel &process,
+                               const ErrorModel &errors,
+                               const VthModel &vth, const IsppEngine &ispp)
+    : geom_(geom),
+      process_(process),
+      errors_(errors),
+      vth_(vth),
+      ispp_(ispp),
+      chipFactor_(process.chipFactor())
+{
+    aging_.resize(geom_.blocksPerChip);
+    wls_.resize(static_cast<std::size_t>(geom_.blocksPerChip) *
+                geom_.wlsPerBlock());
+    blockDrift_.assign(geom_.blocksPerChip, -1.0);
+}
+
+WlTerms
+ErrorTermCache::terms(const WlAddr &addr, PeCycles eraseCount,
+                      const AgingState &aging)
+{
+    const std::uint64_t tag = epochOf(eraseCount) + 1;
+
+    AgingEntry &ae = aging_[addr.block];
+    if (ae.tag != tag) {
+        PROF_SCOPE(prof::Slot::NandTermFill);
+        ++counters_.agingMisses;
+        ae.terms = errors_.terms(aging);
+        ae.shiftSevTerm = vth_.shiftSevTerm(ae.terms.severity);
+        ae.sigma = ispp_.effectiveSigma(ae.terms.severity);
+        ae.tag = tag;
+    } else {
+        ++counters_.agingHits;
+    }
+
+    WlEntry &we = wls_[wlIndex(addr)];
+    if (we.tag != tag) {
+        PROF_SCOPE(prof::Slot::NandTermFill);
+        ++counters_.wlMisses;
+        if (we.q < 0.0) {
+            // First touch of this WL: fill the aging-independent terms.
+            ++counters_.staticFills;
+            we.q = process_.wlQuality(addr);
+            we.speedMv = process_.programSpeedMv(addr);
+        }
+        double &drift = blockDrift_[addr.block];
+        if (drift < 0.0)
+            drift = vth_.blockDrift(addr.block);
+        we.shiftBase = vth_.shiftFromTerms(ae.shiftSevTerm, we.q, drift);
+        we.normBase =
+            errors_.normalizedBerFromTerms(we.q, ae.terms, chipFactor_);
+        we.tag = tag;
+    } else {
+        ++counters_.wlHits;
+    }
+
+    WlTerms out;
+    out.q = we.q;
+    out.speedMv = we.speedMv;
+    out.severity = ae.terms.severity;
+    out.sigma = ae.sigma;
+    out.shiftBase = we.shiftBase;
+    out.normBase = we.normBase;
+    return out;
+}
+
+}  // namespace cubessd::nand

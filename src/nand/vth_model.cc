@@ -40,11 +40,11 @@ VthModel::optimalShiftMv(std::uint32_t block, double q,
                          const AgingState &aging,
                          const ErrorModel &errors) const
 {
-    const double sev = errors.severity(aging);
-    if (sev <= 0.0)
-        return 0.0;
-    return params_.maxShiftMv * std::pow(sev, params_.sevExponent) * q *
-           blockDrift(block);
+    // Delegate through the memoizable factorization; shiftSevTerm and
+    // shiftFromTerms preserve the original expression tree exactly
+    // (sev <= 0 yields +0.0, as the old early return did).
+    return shiftFromTerms(shiftSevTerm(errors.severity(aging)), q,
+                          blockDrift(block));
 }
 
 double

@@ -20,6 +20,7 @@
 #define CUBESSD_NAND_VTH_MODEL_H
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 
 #include "src/common/types.h"
@@ -67,6 +68,27 @@ class VthModel
     double optimalShiftMv(std::uint32_t block, double q,
                           const AgingState &aging,
                           const ErrorModel &errors) const;
+
+    /** Severity-only factor of optimalShiftMv (0 when sev <= 0),
+     *  factored out for per-epoch memoization. */
+    double
+    shiftSevTerm(double sev) const
+    {
+        if (sev <= 0.0)
+            return 0.0;
+        return params_.maxShiftMv * std::pow(sev, params_.sevExponent);
+    }
+
+    /**
+     * optimalShiftMv() from precomputed factors. Keeps the direct
+     * path's multiplication order, so a cached evaluation is
+     * bit-identical (sev <= 0 yields +0.0 either way).
+     */
+    double
+    shiftFromTerms(double sevTerm, double q, double drift) const
+    {
+        return sevTerm * q * drift;
+    }
 
     /** Per-block drift multiplier (lognormal, wafer-location effect). */
     double blockDrift(std::uint32_t block) const;

@@ -37,11 +37,13 @@ constexpr std::array<const char *, kSlotCount> kSlotNames = {
     "sched.tenant_arrival",
     "nand.read",
     "nand.read.ber_eval",
+    "nand.read.decode",
     "nand.read.retry",
     "nand.program",
     "nand.program.ispp",
     "nand.erase",
     "nand.fault_check",
+    "nand.term_fill",
     "ftl.mapping",
     "ftl.ort_lookup",
     "ftl.opm",

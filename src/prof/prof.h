@@ -88,11 +88,13 @@ enum class Slot : std::uint8_t
     SchedTenantArrival,    ///< dispatch of EventKind::TenantArrival
     NandRead,              ///< NandChip::readPage
     NandReadBerEval,       ///< ReadModel: shift + normalized-BER math
-    NandReadRetry,         ///< ReadModel: decode/retry walk
+    NandReadDecode,        ///< ReadModel: full sense/decode walk
+    NandReadRetry,         ///< ReadModel: retry portion of the walk
     NandProgram,           ///< NandChip::programWl
-    NandProgramIspp,       ///< IsppEngine::program loop math
+    NandProgramIspp,       ///< IsppEngine program loop math
     NandErase,             ///< NandChip::eraseBlock
     NandFaultCheck,        ///< FaultInjector program/erase draws
+    NandTermFill,          ///< ErrorTermCache miss: recompute terms
     FtlMapping,            ///< L2P lookups + applyMappings
     FtlOrtLookup,          ///< CubeFtl ORT lookups (read shift/hint)
     FtlOpm,                ///< OPM/WAM target choice, derive, safety

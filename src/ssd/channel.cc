@@ -7,19 +7,12 @@
 
 namespace cubessd::ssd {
 
-SimTime
-Channel::reserve(SimTime earliest, SimTime duration,
-                 const char *traceName)
+void
+Channel::traceTransfer(SimTime start, SimTime duration,
+                       const char *traceName)
 {
-    PROF_SCOPE(prof::Slot::SsdBusTransfer);
-    const SimTime start = std::max(earliest, freeAt_);
-    freeAt_ = start + duration;
-    busyTime_ += duration;
-    if (trace_ != nullptr && traceName != nullptr) {
-        PROF_SCOPE(prof::Slot::ObsMetricsTrace);
-        trace_->complete(track_, traceName, start, duration);
-    }
-    return start;
+    PROF_SCOPE(prof::Slot::ObsMetricsTrace);
+    trace_->complete(track_, traceName, start, duration);
 }
 
 }  // namespace cubessd::ssd

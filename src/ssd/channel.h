@@ -12,9 +12,11 @@
 #ifndef CUBESSD_SSD_CHANNEL_H
 #define CUBESSD_SSD_CHANNEL_H
 
+#include <algorithm>
 #include <cstdint>
 
 #include "src/common/types.h"
+#include "src/prof/prof.h"
 
 namespace cubessd::trace {
 class TraceSession;
@@ -31,9 +33,22 @@ class Channel
      *                   occupancy track (string literal); nullptr
      *                   suppresses the span.
      * @return the granted start time (>= earliest).
+     *
+     * Inline fast path: the common no-trace case is three scalar ops;
+     * only the tracing tail goes out of line.
      */
-    SimTime reserve(SimTime earliest, SimTime duration,
-                    const char *traceName = nullptr);
+    SimTime
+    reserve(SimTime earliest, SimTime duration,
+            const char *traceName = nullptr)
+    {
+        PROF_SCOPE(prof::Slot::SsdBusTransfer);
+        const SimTime start = std::max(earliest, freeAt_);
+        freeAt_ = start + duration;
+        busyTime_ += duration;
+        if (trace_ != nullptr && traceName != nullptr)
+            traceTransfer(start, duration, traceName);
+        return start;
+    }
 
     /** Record bus transfers as spans on `track` (observation only). */
     void
@@ -50,6 +65,9 @@ class Channel
     SimTime busyTime() const { return busyTime_; }
 
   private:
+    void traceTransfer(SimTime start, SimTime duration,
+                       const char *traceName);
+
     SimTime freeAt_ = 0;
     SimTime busyTime_ = 0;
     trace::TraceSession *trace_ = nullptr;

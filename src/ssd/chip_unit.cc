@@ -30,19 +30,22 @@ ChipUnit::tryStart()
     if (busy_ || pending_.empty())
         return;
     busy_ = true;
-    const NandOp op = pending_.front();
+    Slot &slot = slots_[active_];
+    slot.op = pending_.front();
     pending_.pop_front();
-    execute(op);
+    execute(slot);
 }
 
 void
-ChipUnit::execute(const NandOp &op)
+ChipUnit::execute(Slot &slot)
 {
     const SimTime now = queue_.now();
     const auto &geom = chip_.geometry();
     const auto &timing = chip_.timing();
 
-    NandOpResult result;
+    const NandOp &op = slot.op;
+    NandOpResult &result = slot.result;
+    result = NandOpResult{};
     result.start = now;
 
     switch (op.kind) {
@@ -79,24 +82,23 @@ ChipUnit::execute(const NandOp &op)
     if (trace_ != nullptr)
         recordOp(op, result);
 
-    current_ = op;
-    currentResult_ = result;
     queue_.scheduleAt(result.end, sim::EventKind::ChipOpComplete, this);
 }
 
 void
 ChipUnit::onEvent(sim::EventKind, const sim::EventPayload &)
 {
-    // Copy the in-flight op out first: the listener may enqueue a new
-    // operation, which starts immediately on the now-idle die and
-    // overwrites current_/currentResult_.
-    const NandOp op = current_;
-    const NandOpResult result = currentResult_;
+    // Flip the active slot *before* the callback: the listener may
+    // enqueue a new operation, which starts immediately on the
+    // now-idle die and writes the other slot — the completed record
+    // stays valid for the whole delivery without copying it out.
+    Slot &done = slots_[active_];
+    active_ ^= 1;
     busy_ = false;
-    busyTime_ += result.end - result.start;
+    busyTime_ += done.result.end - done.result.start;
     ++opsCompleted_;
-    if (op.listener != nullptr)
-        op.listener->onNandOpComplete(op, result);
+    if (done.op.listener != nullptr)
+        done.op.listener->onNandOpComplete(done.op, done.result);
     tryStart();
 }
 

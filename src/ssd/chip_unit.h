@@ -125,8 +125,20 @@ class ChipUnit final : public sim::EventHandler
                  const sim::EventPayload &payload) override;
 
   private:
+    /** In-flight operation and its outcome, kept together so the
+     *  completion path touches one record. Double-buffered: the
+     *  listener callback may enqueue a new op, which starts on the
+     *  now-idle die and must not overwrite the record still being
+     *  delivered — the active slot flips *before* the callback, so the
+     *  re-entrant start writes the other slot and no copies are made. */
+    struct Slot
+    {
+        NandOp op{};
+        NandOpResult result{};
+    };
+
     void tryStart();
-    void execute(const NandOp &op);
+    void execute(Slot &slot);
     void recordOp(const NandOp &op, const NandOpResult &result);
 
     nand::NandChip &chip_;
@@ -134,9 +146,8 @@ class ChipUnit final : public sim::EventHandler
     sim::EventQueue &queue_;
     RingDeque<NandOp> pending_;
     bool busy_ = false;
-    /** The op the die is executing (valid while busy_). */
-    NandOp current_{};
-    NandOpResult currentResult_{};
+    Slot slots_[2];
+    int active_ = 0;
     SimTime busyTime_ = 0;
     std::uint64_t opsCompleted_ = 0;
     trace::TraceSession *trace_ = nullptr;

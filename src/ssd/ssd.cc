@@ -250,6 +250,18 @@ Ssd::registerCounters(trace::CounterRegistry &reg)
         return static_cast<double>(hostQueue_->inFlight() +
                                    hostQueue_->waiting());
     });
+    reg.add("nand.term_cache_hit_rate", "percent", [this](SimTime) {
+        std::uint64_t hits = 0;
+        std::uint64_t lookups = 0;
+        for (const auto &chip : chips_) {
+            const auto &c = chip.termCache().counters();
+            hits += c.wlHits;
+            lookups += c.wlHits + c.wlMisses;
+        }
+        return lookups == 0 ? 0.0
+                            : 100.0 * static_cast<double>(hits) /
+                                  static_cast<double>(lookups);
+    });
     ftl_->registerCounters(reg);
 }
 

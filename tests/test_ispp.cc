@@ -219,7 +219,8 @@ TEST(IsppMlc, DefaultVerifyScheduleMatchesFig3)
     IsppEngine engine(config, errors);
     const auto loops = engine.stateLoops(0.0, 1.0, {0, 0.0}, 0);
     const auto schedule = engine.defaultVerifySchedule(loops);
-    EXPECT_EQ(schedule, (std::vector<int>{3, 3, 3, 2, 2, 1, 1}));
+    EXPECT_EQ(std::vector<int>(schedule.begin(), schedule.end()),
+              (std::vector<int>{3, 3, 3, 2, 2, 1, 1}));
 }
 
 TEST(IsppMlc, ScheduleIsNonIncreasing)

@@ -299,5 +299,59 @@ TEST(ZeroAlloc, DeviceRequestPathWithProfilerOn)
         << " events with the profiler enabled";
 }
 
+TEST(ZeroAlloc, NandProgramPathWithProfilerOn)
+{
+    // The NAND model layer itself: erase -> program -> read cycles on
+    // a bare chip, profiler on. Covers the term-cache fill/hit paths
+    // (every erase opens a new epoch and refills), the fixed-capacity
+    // verify schedule, and the ISPP/read hot paths — none of which may
+    // touch the heap after construction.
+    if (!prof::compiledIn())
+        GTEST_SKIP() << "built without CUBESSD_PROFILING";
+    prof::setEnabled(true);
+    prof::resetThread();
+
+    nand::NandChipConfig config;
+    config.geometry.blocksPerChip = 4;
+    config.geometry.layersPerBlock = 8;
+    config.seed = 3;
+    nand::NandChip chip(config);
+
+    const std::uint64_t tokens[3] = {1, 2, 3};
+    const auto cycle = [&](std::uint32_t block) {
+        chip.eraseBlock(block);
+        for (std::uint32_t l = 0; l < config.geometry.layersPerBlock;
+             ++l) {
+            for (std::uint32_t w = 0; w < config.geometry.wlsPerLayer;
+                 ++w) {
+                const nand::WlAddr wl{block, l, w};
+                chip.programWl(wl, nand::ProgramCommand{}, tokens);
+                chip.readPage(nand::PageAddr{block, l, w, 0}, 0);
+            }
+        }
+    };
+
+    // Warm-up epoch: first touch of every WL fills the static terms.
+    for (std::uint32_t b = 0; b < config.geometry.blocksPerChip; ++b)
+        cycle(b);
+
+    const std::uint64_t before = gAllocCount;
+    for (int rep = 0; rep < 4; ++rep) {
+        chip.setAging({100u * static_cast<std::uint32_t>(rep + 1),
+                       static_cast<double>(rep)});
+        for (std::uint32_t b = 0; b < config.geometry.blocksPerChip; ++b)
+            cycle(b);
+    }
+    const std::uint64_t allocs = gAllocCount - before;
+    prof::setEnabled(false);
+
+    // The epoch churn really exercised the refill path.
+    const auto &counters = chip.termCache().counters();
+    EXPECT_GT(counters.wlMisses, 0u);
+    EXPECT_GT(counters.wlHits, 0u);
+    EXPECT_EQ(allocs, 0u)
+        << allocs << " allocations across erase/program/read cycles";
+}
+
 }  // namespace
 }  // namespace cubessd

@@ -12,10 +12,14 @@ prints the self-ns/call delta of every slot, so a regression names
 the subsystem that caused it.
 
 A gated section missing from either file is a hard error naming the
-file and section. The profile section is optional (informational):
-present in only one file prints a note, never fails the gate — but
-never gate a --profile run against a no-profile baseline's events/s,
-the scope overhead would read as a regression.
+file and section. The profile section is optional: present in only
+one file prints a note and skips the per-slot comparison — but never
+gate a --profile run against a no-profile baseline's events/s, the
+scope overhead would read as a regression. When BOTH sides carry
+profiles, one slot comparison IS gated: the combined
+nand.read.ber_eval + nand.program.ispp self-ns/call must not regress
+by more than 20% (the term-cache memoization keeps the model hot path
+nearly flat; see MODEL_EVAL_SLOTS).
 
 Faster-than-baseline results never fail; they print a hint to re-pin
 the baseline when the improvement is large enough to look intentional.
@@ -30,6 +34,13 @@ import json
 import sys
 
 PATHS = ("micro", "workload")
+
+# Model-evaluation slots whose combined self-ns/call is gated when both
+# sides carry profiles: the term-cache memoization keeps these nearly
+# flat, so a large regression means the cache stopped hitting (or a
+# hot-path change re-introduced per-call transcendental work).
+MODEL_EVAL_SLOTS = ("nand.read.ber_eval", "nand.program.ispp")
+MODEL_EVAL_TOLERANCE = 0.20
 
 
 def load(path):
@@ -133,6 +144,52 @@ def report_profile_delta(result, baseline, result_path, baseline_path):
         )
 
 
+def gate_model_eval(result, baseline):
+    """Hard gate: combined ber_eval+ispp self-ns/call regression.
+
+    Only applies when BOTH files carry a profile section with every
+    gated slot; otherwise prints a note and passes (a no-profile run
+    cannot regress what it does not measure).
+    """
+    got = profile_slots(result)
+    want = profile_slots(baseline)
+    if got is None or want is None:
+        return False
+    missing = [
+        s for s in MODEL_EVAL_SLOTS if s not in got or s not in want
+    ]
+    if missing:
+        print(
+            "perf_gate: note: model-eval slots missing on one side "
+            f"({', '.join(missing)}) — skipping the ber_eval+ispp gate"
+        )
+        return False
+    gv = sum(float(got[s].get("self_ns_per_call", 0.0)) for s in MODEL_EVAL_SLOTS)
+    wv = sum(float(want[s].get("self_ns_per_call", 0.0)) for s in MODEL_EVAL_SLOTS)
+    if wv <= 0:
+        return False
+    ratio = gv / wv
+    verdict = "OK"
+    failed = False
+    if ratio > 1.0 + MODEL_EVAL_TOLERANCE:
+        verdict = "REGRESSION"
+        failed = True
+    print(
+        f"perf_gate: model-eval (ber_eval+ispp) {gv:10,.1f} "
+        f"self ns/call  baseline {wv:10,.1f}  ({ratio - 1.0:+7.2%})  "
+        f"{verdict}"
+    )
+    if failed:
+        print(
+            "perf_gate: FAIL -- the combined nand.read.ber_eval + "
+            "nand.program.ispp self-ns/call regressed more than "
+            f"{MODEL_EVAL_TOLERANCE:.0%}: the term-cache memoization "
+            "is no longer covering the model hot path.",
+            file=sys.stderr,
+        )
+    return failed
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("result", help="BENCH_perf.json from perf_events")
@@ -154,6 +211,7 @@ def main():
 
     failed = gate_paths(result, baseline, args)
     report_profile_delta(result, baseline, args.result, args.baseline)
+    failed = gate_model_eval(result, baseline) or failed
 
     if failed:
         print(

@@ -43,6 +43,7 @@ import sys
 REQUIRED_SLOTS = (
     "sched.chip_op",
     "nand.read.ber_eval",
+    "nand.read.decode",
     "nand.program.ispp",
     "ftl.mapping",
 )
